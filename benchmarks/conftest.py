@@ -1,0 +1,23 @@
+"""Shared fixtures and parameters for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (the Section-1.1
+classification table, Figures 1-3, the promise problems, Theorems 1-2,
+Corollary 1) at laptop scale and asserts the qualitative outcome the paper
+reports; the measured timings are reported by pytest-benchmark.
+"""
+
+import pytest
+
+from repro.turing import halting_machine
+
+
+@pytest.fixture(scope="session")
+def machine_outputs_zero():
+    """The smallest library machine in L0 (halts with output 0)."""
+    return halting_machine("0", delay=0)
+
+
+@pytest.fixture(scope="session")
+def machine_outputs_one():
+    """The smallest library machine in L1 (halts with output 1)."""
+    return halting_machine("1", delay=0)

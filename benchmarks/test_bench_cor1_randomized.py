@@ -1,0 +1,37 @@
+"""Experiment `cor1`: Corollary 1 — a randomised Id-oblivious (1, 1-o(1))-decider for P.
+
+Estimates, by Monte-Carlo trials, the acceptance probability on yes-instances
+(must be 1: the decider has one-sided error) and the rejection probability on
+no-instances as the instance grows (must approach 1), reproducing the
+(1, 1 - o(1)) shape of the corollary.
+"""
+
+from repro.analysis import ExperimentLog
+from repro.decision import estimate_acceptance_probability
+from repro.separation.computability import RandomisedObliviousDecider, build_execution_graph
+from repro.turing import halting_machine
+
+
+def _corollary1(delays, trials):
+    log = ExperimentLog("cor1-randomised")
+    decider = RandomisedObliviousDecider(check_structure=False)
+    for delay in delays:
+        yes = build_execution_graph(halting_machine("0", delay=delay), r=1, fragment_side=2)
+        no = build_execution_graph(halting_machine("1", delay=delay), r=1, fragment_side=2)
+        yes_est = estimate_acceptance_probability(decider, yes.graph, trials=trials, seed=1)
+        no_est = estimate_acceptance_probability(decider, no.graph, trials=trials, seed=1)
+        log.add(
+            {"delay": delay, "n": no.graph.num_nodes(), "running_time": no.running_time},
+            {
+                "yes_acceptance": round(yes_est.acceptance_rate, 3),
+                "no_rejection": round(no_est.rejection_rate, 3),
+            },
+        )
+        assert yes_est.acceptance_rate == 1.0
+        assert no_est.rejection_rate >= 0.9
+    return log
+
+
+def test_bench_cor1_randomized(benchmark):
+    log = benchmark.pedantic(_corollary1, args=((0, 1), 3), rounds=1, iterations=1)
+    print("\n" + log.to_table())

@@ -1,0 +1,30 @@
+"""Ablation bench: the two execution engines for local algorithms.
+
+DESIGN.md calls out the choice between direct ball evaluation (the paper's
+mathematical definition) and the synchronous message-passing simulator (the
+"networked state machines" view).  This bench checks they agree and compares
+their cost on the same workload, and reports the simulator's communication
+statistics.
+"""
+
+import pytest
+
+from repro.graphs import grid_graph, sequential_assignment
+from repro.local_model import YES, NO, FunctionAlgorithm, run_algorithm, simulate_algorithm
+
+GRID = grid_graph(6, 6, label="g")
+IDS = sequential_assignment(GRID)
+ALGORITHM = FunctionAlgorithm(
+    lambda view: YES if view.max_visible_identifier() % 2 == 0 else NO, radius=2, name="parity"
+)
+
+
+def test_bench_engine_ball_evaluation(benchmark):
+    outputs = benchmark(run_algorithm, ALGORITHM, GRID, IDS)
+    assert len(outputs) == GRID.num_nodes()
+
+
+def test_bench_engine_message_passing(benchmark):
+    outputs, stats = benchmark(simulate_algorithm, ALGORITHM, GRID, IDS)
+    assert outputs == run_algorithm(ALGORITHM, GRID, IDS)
+    assert stats.rounds == ALGORITHM.radius + 1

@@ -1,0 +1,48 @@
+"""Experiment `fig3`: Figure 3 — the pyramidal (layered quadtree) augmentation of a grid.
+
+Regenerates the Appendix-A substrate: builds quadtree pyramids over grids of
+growing side, verifies the structural facts the paper relies on (unique
+apex, one parent per node, logarithmically shrinking distances) and — the
+design point — shows that a torus, which fools plain-grid local checks, does
+not admit the pyramid's degree signature.
+"""
+
+from repro.analysis import ExperimentLog
+from repro.graphs import grid_graph, quadtree_pyramid, torus_graph
+
+
+def _figure3(max_h: int):
+    log = ExperimentLog("fig3-pyramid")
+    for h in range(1, max_h + 1):
+        side = 2**h
+        pyramid = quadtree_pyramid(side)
+        grid = grid_graph(side, side)
+        apexes = [v for v in pyramid.nodes() if v[2] == h]
+        # distance between opposite base corners shrinks from ~2*side to O(log side)
+        base_corner_a, base_corner_b = (0, 0, 0), (side - 1, side - 1, 0)
+        dist_pyramid = pyramid.bfs_distances(base_corner_a)[base_corner_b]
+        dist_grid = grid.bfs_distances((0, 0))[(side - 1, side - 1)]
+        torus = torus_graph(max(side, 3), max(side, 3))
+        log.add(
+            {"side": side},
+            {
+                "pyramid_nodes": pyramid.num_nodes(),
+                "apexes": len(apexes),
+                "corner_distance_grid": dist_grid,
+                "corner_distance_pyramid": dist_pyramid,
+                "torus_max_degree": torus.max_degree(),
+                "pyramid_max_degree": pyramid.max_degree(),
+            },
+        )
+        assert len(apexes) == 1
+        assert dist_pyramid <= dist_grid
+        for x in range(side):
+            for y in range(side):
+                parents = [u for u in pyramid.neighbours((x, y, 0)) if u[2] == 1]
+                assert len(parents) == 1
+    return log
+
+
+def test_bench_fig3_pyramid(benchmark):
+    log = benchmark.pedantic(_figure3, args=(4,), rounds=1, iterations=1)
+    print("\n" + log.to_table())

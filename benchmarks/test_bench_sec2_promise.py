@@ -1,0 +1,40 @@
+"""Experiment `sec2-promise`: the Section-2 promise problem on cycles (r vs f(r)).
+
+Sweeps r, checks that the identifier-threshold decider classifies every
+instance correctly while cycles of the two sizes are locally
+indistinguishable to Id-oblivious algorithms (coverage certificate).
+"""
+
+from repro.analysis import ExperimentLog
+from repro.decision import decide
+from repro.separation.bounded_ids import (
+    CyclePromiseProblem,
+    IdThresholdCycleDecider,
+    indistinguishability_certificate,
+)
+
+
+def _sweep(r_values, horizon):
+    log = ExperimentLog("sec2-promise-cycles")
+    problem = CyclePromiseProblem()
+    decider = IdThresholdCycleDecider()
+    for r in r_values:
+        yes, no = problem.yes_instance(r), problem.no_instance(r)
+        yes_ok = decide(decider, yes, problem.instance_ids(yes))
+        no_ok = not decide(decider, no, problem.instance_ids(no))
+        cert = indistinguishability_certificate(problem, r, horizon)
+        log.add(
+            {"r": r, "f(r)": problem.bound_fn(r), "horizon": horizon},
+            {
+                "id_decider_accepts_yes": yes_ok,
+                "id_decider_rejects_no": no_ok,
+                "oblivious_indistinguishable": cert.valid,
+            },
+        )
+        assert yes_ok and no_ok and cert.valid
+    return log
+
+
+def test_bench_sec2_promise(benchmark):
+    log = benchmark.pedantic(_sweep, args=((6, 8, 10, 12), 2), rounds=1, iterations=1)
+    print("\n" + log.to_table())

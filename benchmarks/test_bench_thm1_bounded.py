@@ -1,0 +1,57 @@
+"""Experiment `thm1-secB`: Theorem 1 under (B) — the Section-2 witness P is in LD but not LD*.
+
+Two halves:
+* LD side, at the *true* parameters (tight bound f(n) = n + 2, r = 1): the
+  identifier-threshold decider accepts every small instance and rejects the
+  depth-R(1) layered tree Tr (2047 nodes).
+* LD* impossibility, at stand-in depth: full neighbourhood coverage of the
+  large tree by the small instances, and a concrete Id-oblivious candidate
+  being fooled.
+"""
+
+from repro.analysis import ExperimentLog, oblivious_decider_is_fooled
+from repro.decision import decide
+from repro.graphs import sequential_assignment
+from repro.local_model import YES, FunctionIdObliviousAlgorithm
+from repro.separation.bounded_ids import (
+    BoundedIdsLDDecider,
+    SlabSpec,
+    bound_R,
+    build_layered_tree,
+    build_small_instance,
+    section2_impossibility_certificate,
+    small_bound,
+)
+
+
+def _theorem1():
+    log = ExperimentLog("thm1-bounded-ids")
+    # LD side at true parameters (r = 1, R(1) = 10, |Tr| = 2047).
+    r = 1
+    depth = bound_R(r, small_bound)
+    tree = build_layered_tree(depth, r)
+    decider = BoundedIdsLDDecider(bound_fn=small_bound)
+    rejects_large = not decide(decider, tree, sequential_assignment(tree))
+    small = build_small_instance(SlabSpec(r=r, tree_depth=depth, y0=3, x0=2, root_width=2))
+    accepts_small = decide(decider, small, sequential_assignment(small))
+    log.add(
+        {"half": "LD (true parameters)", "r": r, "R(r)": depth},
+        {"tree_nodes": tree.num_nodes(), "accepts_small": accepts_small, "rejects_Tr": rejects_large},
+    )
+    assert accepts_small and rejects_large
+
+    # LD* impossibility at stand-in depth (coverage is depth-independent).
+    cert = section2_impossibility_certificate(r=3, horizon=1, tree_depth=5, bound_fn=small_bound)
+    naive = FunctionIdObliviousAlgorithm(lambda v: YES, radius=1, name="naive")
+    fooled = oblivious_decider_is_fooled(naive, cert)
+    log.add(
+        {"half": "not-LD* (coverage)", "r": 3, "R(r)": bound_R(3, small_bound)},
+        {"tree_nodes": cert.fooling_instance.num_nodes(), "accepts_small": True, "rejects_Tr": not fooled},
+    )
+    assert cert.valid and fooled
+    return log
+
+
+def test_bench_thm1_bounded(benchmark):
+    log = benchmark.pedantic(_theorem1, rounds=1, iterations=1)
+    print("\n" + log.to_table())

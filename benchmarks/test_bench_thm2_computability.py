@@ -1,0 +1,61 @@
+"""Experiment `thm2`: Theorem 2 — the Section-3 witness P is in LD but not LD* under (C).
+
+* LD side: the two-stage decider accepts G(M, r) when M outputs 0 and
+  rejects it when M outputs 1 (and rejects corrupted structures).
+* not-LD* side: the separation algorithm R, built from each candidate
+  Id-oblivious decider, would separate L0 from L1 — and every concrete
+  candidate misclassifies some machine; R also halts on non-halting machines.
+"""
+
+from repro.analysis import ExperimentLog
+from repro.decision import decide
+from repro.graphs import sequential_assignment
+from repro.separation.computability import (
+    ComputabilityLDDecider,
+    build_execution_graph,
+    candidate_always_accept,
+    candidate_halt_scanner,
+    run_separation_experiment,
+    separation_algorithm,
+)
+from repro.turing import halting_machine, looping_machine
+
+FRAGMENT_SIDE = 2
+
+
+def _theorem2():
+    log = ExperimentLog("thm2-computability")
+    decider = ComputabilityLDDecider()
+    machines = [halting_machine("0", delay=0), halting_machine("1", delay=0)]
+    for machine in machines:
+        eg = build_execution_graph(machine, r=1, fragment_side=FRAGMENT_SIDE)
+        accepted = decide(decider, eg.graph, sequential_assignment(eg.graph))
+        expected = machine.run(100, keep_history=False).output == "0"
+        log.add(
+            {"half": "LD", "machine": machine.name},
+            {"graph_nodes": eg.graph.num_nodes(), "accepted": accepted, "expected": expected},
+        )
+        assert accepted == expected
+
+    candidates = [candidate_halt_scanner(1), candidate_always_accept(1)]
+    experiment = run_separation_experiment(
+        candidates=candidates, machines=machines, r=1, fragment_side=FRAGMENT_SIDE
+    )
+    halts_on_looper = isinstance(
+        separation_algorithm(candidates[0], looping_machine(), r=1, fragment_side=FRAGMENT_SIDE), bool
+    )
+    log.add(
+        {"half": "not-LD*", "machine": "all"},
+        {
+            "graph_nodes": "-",
+            "accepted": f"misclassifications={len(experiment.misclassifications())}",
+            "expected": f"every_candidate_fails={experiment.every_candidate_fails()}, R_halts_on_looper={halts_on_looper}",
+        },
+    )
+    assert experiment.every_candidate_fails() and halts_on_looper
+    return log
+
+
+def test_bench_thm2_computability(benchmark):
+    log = benchmark.pedantic(_theorem2, rounds=1, iterations=1)
+    print("\n" + log.to_table())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The build metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with the legacy (non-PEP-660) editable-install
+path on environments whose setuptools predates editable wheel support.
+"""
+
+from setuptools import setup
+
+setup()

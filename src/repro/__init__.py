@@ -1,0 +1,42 @@
+"""repro — reproduction of "What can be decided locally without identifiers?" (PODC 2013).
+
+The package is organised as follows:
+
+* :mod:`repro.graphs` — labelled graphs, identifier assignments, radius-t
+  neighbourhoods, graph generators, isomorphism;
+* :mod:`repro.local_model` — local algorithms (LOCAL / Id-oblivious / OI /
+  randomised), the ball-evaluation runner and the synchronous
+  message-passing simulator, port numberings;
+* :mod:`repro.decision` — labelled graph properties, decision semantics,
+  classes LD / LD* / NLD / BPLD, the generic Id-oblivious simulation ``A*``,
+  randomised (p, q)-deciders;
+* :mod:`repro.turing` — Turing machines, execution tables, machine library;
+* :mod:`repro.properties` — the classic properties used as running examples
+  (colourings, MIS, matchings, planarity, path languages);
+* :mod:`repro.separation` — the paper's two separation constructions
+  (Section 2: bounded identifiers; Section 3 + Appendix A: computability)
+  and the randomised decider of Corollary 1;
+* :mod:`repro.analysis` — neighbourhood-coverage analysis (the engine of the
+  impossibility arguments), experiment records and report formatting.
+"""
+
+from . import decision, graphs, local_model
+from .decision import Property, decide
+from .graphs import IdAssignment, LabelledGraph
+from .local_model import NO, YES, Verdict
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphs",
+    "local_model",
+    "decision",
+    "LabelledGraph",
+    "IdAssignment",
+    "YES",
+    "NO",
+    "Verdict",
+    "Property",
+    "decide",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analysis tools: neighbourhood coverage (indistinguishability) and experiment reporting."""
+
+from .coverage import (
+    CoverageReport,
+    build_impossibility_certificate,
+    coverage_report,
+    neighbourhood_census,
+    neighbourhood_keys,
+    oblivious_decider_is_fooled,
+)
+from .reporting import ExperimentLog, ExperimentRecord, format_table
+
+__all__ = [
+    "CoverageReport",
+    "build_impossibility_certificate",
+    "coverage_report",
+    "neighbourhood_census",
+    "neighbourhood_keys",
+    "oblivious_decider_is_fooled",
+    "ExperimentLog",
+    "ExperimentRecord",
+    "format_table",
+]

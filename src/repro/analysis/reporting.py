@@ -1,0 +1,83 @@
+"""Experiment records and plain-text report formatting.
+
+The paper has no measured tables, but the reproduction's benchmarks still
+need to print their results in a stable, comparable format (the
+"rows/series the paper reports", per EXPERIMENTS.md).  This module provides
+a tiny, dependency-free report toolkit: aligned text tables and a uniform
+record type for experiment outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "ExperimentRecord", "ExperimentLog"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: Optional[str] = None) -> str:
+    """Format rows as an aligned, pipe-separated text table.
+
+    All cells are rendered with ``str``; column widths adapt to the longest
+    cell.  Used by the benchmark harnesses to print the regenerated
+    tables/figure series.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([str(c) for c in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(rendered[0]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in rendered[1:])
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRecord:
+    """One row of an experiment: a parameter point and its measured values."""
+
+    experiment: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self, parameter_keys: Sequence[str], result_keys: Sequence[str]) -> List[Any]:
+        """Render the record as a flat row following the given column order."""
+        return [self.parameters.get(k, "") for k in parameter_keys] + [
+            self.results.get(k, "") for k in result_keys
+        ]
+
+
+@dataclass
+class ExperimentLog:
+    """A named collection of experiment records with table rendering."""
+
+    name: str
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    def add(self, parameters: Mapping[str, Any], results: Mapping[str, Any]) -> ExperimentRecord:
+        """Append a record and return it."""
+        record = ExperimentRecord(experiment=self.name, parameters=dict(parameters), results=dict(results))
+        self.records.append(record)
+        return record
+
+    def to_table(
+        self,
+        parameter_keys: Optional[Sequence[str]] = None,
+        result_keys: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Render all records as an aligned text table."""
+        if not self.records:
+            return f"{self.name}: (no records)"
+        parameter_keys = list(parameter_keys or self.records[0].parameters.keys())
+        result_keys = list(result_keys or self.records[0].results.keys())
+        headers = list(parameter_keys) + list(result_keys)
+        rows = [r.as_row(parameter_keys, result_keys) for r in self.records]
+        return format_table(headers, rows, title=self.name)

@@ -1,0 +1,65 @@
+"""Local decision framework: properties, deciders, decision classes, A*, randomised decision."""
+
+from .property import FunctionProperty, InstanceFamily, PromiseProperty, Property
+from .decider import (
+    CounterExample,
+    DecisionOutcome,
+    VerificationReport,
+    assignments_for,
+    decide,
+    decide_outcome,
+    verify_decider,
+)
+from .classes import (
+    ClassWitness,
+    DecisionClass,
+    ImpossibilityCertificate,
+    NonDeterministicDecider,
+    SeparationResult,
+    verify_nondeterministic_decider,
+)
+from .oblivious_simulation import ObliviousSimulation, simulate_obliviously
+from .model_checks import (
+    ObliviousnessAuditReport,
+    ObliviousnessViolation,
+    audit_id_obliviousness,
+    audit_order_invariance,
+)
+from .randomized import (
+    AcceptanceEstimate,
+    PQDeciderReport,
+    estimate_acceptance_probability,
+    evaluate_pq_decider,
+    wilson_interval,
+)
+
+__all__ = [
+    "FunctionProperty",
+    "InstanceFamily",
+    "PromiseProperty",
+    "Property",
+    "CounterExample",
+    "DecisionOutcome",
+    "VerificationReport",
+    "assignments_for",
+    "decide",
+    "decide_outcome",
+    "verify_decider",
+    "ClassWitness",
+    "DecisionClass",
+    "ImpossibilityCertificate",
+    "NonDeterministicDecider",
+    "SeparationResult",
+    "verify_nondeterministic_decider",
+    "ObliviousSimulation",
+    "simulate_obliviously",
+    "ObliviousnessAuditReport",
+    "ObliviousnessViolation",
+    "audit_id_obliviousness",
+    "audit_order_invariance",
+    "AcceptanceEstimate",
+    "PQDeciderReport",
+    "estimate_acceptance_probability",
+    "evaluate_pq_decider",
+    "wilson_interval",
+]

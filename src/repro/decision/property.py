@@ -1,0 +1,157 @@
+"""Labelled graph properties and promise problems.
+
+A *labelled graph property* (the paper calls it interchangeably a
+"language") is a set of labelled graphs closed under isomorphism
+(Section 1.2).  :class:`Property` is the abstract interface: a membership
+test ``contains(graph)`` plus optional generators of yes- and no-instances
+that the exhaustive verifiers and benchmarks draw from.
+
+Promise problems (used in the illustrative examples of Sections 2 and 3)
+are modelled by :class:`PromiseProperty`: inputs outside the promise place
+no requirement on deciders, and the strict runners refuse to evaluate them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import PromiseViolationError
+from ..graphs.labelled_graph import LabelledGraph
+
+__all__ = ["Property", "FunctionProperty", "PromiseProperty", "InstanceFamily"]
+
+
+class Property(ABC):
+    """A labelled graph property (a set of labelled graphs closed under isomorphism)."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "property"
+
+    @abstractmethod
+    def contains(self, graph: LabelledGraph) -> bool:
+        """Return ``True`` when ``graph`` (with its labels) has the property."""
+
+    def __contains__(self, graph: LabelledGraph) -> bool:
+        return self.contains(graph)
+
+    # ------------------------------------------------------------------ #
+    # Optional instance generators (used by verifiers and benchmarks)
+    # ------------------------------------------------------------------ #
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        """Yield a (finite, representative) family of yes-instances.
+
+        The default implementation yields nothing; concrete properties that
+        want to participate in exhaustive verification override this.
+        """
+        return iter(())
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        """Yield a (finite, representative) family of no-instances."""
+        return iter(())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionProperty(Property):
+    """Wrap a plain membership function (and optional instance generators) as a :class:`Property`."""
+
+    def __init__(
+        self,
+        membership: Callable[[LabelledGraph], bool],
+        name: str = "property",
+        yes: Optional[Callable[[], Iterable[LabelledGraph]]] = None,
+        no: Optional[Callable[[], Iterable[LabelledGraph]]] = None,
+    ) -> None:
+        self._membership = membership
+        self.name = name
+        self._yes = yes
+        self._no = no
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        return self._membership(graph)
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        if self._yes is None:
+            return iter(())
+        return iter(self._yes())
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        if self._no is None:
+            return iter(())
+        return iter(self._no())
+
+
+class PromiseProperty(Property):
+    """A property together with a promise restricting the admissible inputs.
+
+    ``contains`` is only meaningful for graphs satisfying the promise; the
+    strict helpers raise :class:`~repro.errors.PromiseViolationError` for
+    inputs outside it, mirroring the paper's convention that deciders may
+    behave arbitrarily (or not halt) there.
+    """
+
+    def __init__(self, name: str = "promise-property") -> None:
+        self.name = name
+
+    @abstractmethod
+    def satisfies_promise(self, graph: LabelledGraph) -> bool:
+        """Return ``True`` when ``graph`` is inside the promise."""
+
+    @abstractmethod
+    def contains_under_promise(self, graph: LabelledGraph) -> bool:
+        """Return the membership answer assuming the promise holds."""
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        """Strict membership: raises for inputs outside the promise."""
+        if not self.satisfies_promise(graph):
+            raise PromiseViolationError(
+                f"input violates the promise of {self.name!r}; membership is undefined"
+            )
+        return self.contains_under_promise(graph)
+
+
+class InstanceFamily:
+    """A named finite collection of labelled inputs with known ground truth.
+
+    The verifiers and benchmarks operate on these: each family bundles the
+    instances, their expected classification, and a short description of the
+    parameters that produced them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        yes_instances: Sequence[LabelledGraph] = (),
+        no_instances: Sequence[LabelledGraph] = (),
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.yes = list(yes_instances)
+        self.no = list(no_instances)
+        self.description = description
+
+    def all_instances(self) -> List[LabelledGraph]:
+        """Return all instances, yes-instances first."""
+        return list(self.yes) + list(self.no)
+
+    def labelled_instances(self) -> List[tuple]:
+        """Return ``(graph, expected_membership)`` pairs."""
+        return [(g, True) for g in self.yes] + [(g, False) for g in self.no]
+
+    def __len__(self) -> int:
+        return len(self.yes) + len(self.no)
+
+    def __repr__(self) -> str:
+        return f"InstanceFamily(name={self.name!r}, yes={len(self.yes)}, no={len(self.no)})"
+
+    @classmethod
+    def from_property(cls, prop: Property, limit: Optional[int] = None) -> "InstanceFamily":
+        """Build a family from a property's own instance generators."""
+        yes = list(prop.yes_instances())
+        no = list(prop.no_instances())
+        if limit is not None:
+            yes, no = yes[:limit], no[:limit]
+        return cls(prop.name, yes, no, description=f"instances generated by {prop.name}")

@@ -1,0 +1,175 @@
+"""Randomised local decision: (p, q)-deciders and their empirical estimation.
+
+Section 3.3 of the paper defines a randomised local algorithm ``A`` to be a
+``(p, q)``-decider for a property ``P`` when for every input ``(G, x, Id)``:
+
+* if ``(G, x) ∈ P``: with probability at least ``p``, *all* nodes output
+  ``yes``;
+* if ``(G, x) ∉ P``: with probability at least ``q``, *some* node outputs
+  ``no``.
+
+Corollary 1 exhibits a ``(1, 1 - o(1))``-decider for the Section-3 witness
+property.  Since exact acceptance probabilities of arbitrary randomised
+algorithms are not computable in closed form, this module estimates them by
+Monte-Carlo trials and reports Wilson confidence intervals, which is what
+the Corollary-1 benchmark sweeps over ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DecisionError
+from ..graphs.identifiers import IdAssignment
+from ..graphs.labelled_graph import LabelledGraph
+from ..local_model.algorithm import RandomisedLocalAlgorithm
+from ..local_model.outputs import NO, Verdict
+from ..local_model.runner import run_randomised_algorithm
+from .property import InstanceFamily, Property
+
+__all__ = [
+    "AcceptanceEstimate",
+    "PQDeciderReport",
+    "estimate_acceptance_probability",
+    "evaluate_pq_decider",
+    "wilson_interval",
+]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Return the Wilson score confidence interval for a binomial proportion."""
+    if trials == 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(phat * (1.0 - phat) / trials + z * z / (4 * trials * trials))
+    return ((centre - margin) / denom, (centre + margin) / denom)
+
+
+@dataclass
+class AcceptanceEstimate:
+    """Monte-Carlo estimate of the probability that a randomised decider accepts one input."""
+
+    instance_nodes: int
+    trials: int
+    accepts: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        """The observed acceptance frequency."""
+        return self.accepts / self.trials if self.trials else 0.0
+
+    @property
+    def rejection_rate(self) -> float:
+        """The observed rejection frequency."""
+        return 1.0 - self.acceptance_rate
+
+    def acceptance_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Wilson confidence interval for the acceptance probability."""
+        return wilson_interval(self.accepts, self.trials, z)
+
+
+def _accepts_once(
+    algorithm: RandomisedLocalAlgorithm,
+    graph: LabelledGraph,
+    ids: Optional[IdAssignment],
+    seed: int,
+) -> bool:
+    outputs = run_randomised_algorithm(algorithm, graph, ids=ids, seed=seed)
+    for v, out in outputs.items():
+        if not isinstance(out, Verdict):
+            raise DecisionError(
+                f"randomised decider returned {out!r} at node {v!r}; expected YES or NO"
+            )
+    return all(out != NO for out in outputs.values())
+
+
+def estimate_acceptance_probability(
+    algorithm: RandomisedLocalAlgorithm,
+    graph: LabelledGraph,
+    ids: Optional[IdAssignment] = None,
+    trials: int = 200,
+    seed: int = 0,
+) -> AcceptanceEstimate:
+    """Estimate the probability that the randomised decider accepts ``(G, x, Id)``."""
+    rng = random.Random(seed)
+    accepts = 0
+    for _ in range(trials):
+        if _accepts_once(algorithm, graph, ids, seed=rng.randrange(2**62)):
+            accepts += 1
+    return AcceptanceEstimate(instance_nodes=graph.num_nodes(), trials=trials, accepts=accepts)
+
+
+@dataclass
+class PQDeciderReport:
+    """Empirical evaluation of a candidate (p, q)-decider against an instance family."""
+
+    algorithm_name: str
+    family_name: str
+    target_p: float
+    target_q: float
+    trials_per_instance: int
+    yes_estimates: List[AcceptanceEstimate] = field(default_factory=list)
+    no_estimates: List[AcceptanceEstimate] = field(default_factory=list)
+
+    @property
+    def worst_yes_acceptance(self) -> float:
+        """The lowest observed acceptance rate over yes-instances (should be >= p)."""
+        return min((e.acceptance_rate for e in self.yes_estimates), default=1.0)
+
+    @property
+    def worst_no_rejection(self) -> float:
+        """The lowest observed rejection rate over no-instances (should be >= q)."""
+        return min((e.rejection_rate for e in self.no_estimates), default=1.0)
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the observed rates meet the (p, q) targets on every instance."""
+        return (
+            self.worst_yes_acceptance >= self.target_p - 1e-12
+            and self.worst_no_rejection >= self.target_q - 1e-12
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm_name} on {self.family_name}: "
+            f"min yes-acceptance {self.worst_yes_acceptance:.3f} (target {self.target_p}), "
+            f"min no-rejection {self.worst_no_rejection:.3f} (target {self.target_q}) "
+            f"[{self.trials_per_instance} trials/instance] -> "
+            f"{'meets' if self.satisfied else 'misses'} target"
+        )
+
+
+def evaluate_pq_decider(
+    algorithm: RandomisedLocalAlgorithm,
+    family: InstanceFamily,
+    p: float,
+    q: float,
+    trials: int = 200,
+    seed: int = 0,
+    ids_factory=None,
+) -> PQDeciderReport:
+    """Estimate whether a randomised decider meets the (p, q) targets on a family."""
+    report = PQDeciderReport(
+        algorithm_name=algorithm.name,
+        family_name=family.name,
+        target_p=p,
+        target_q=q,
+        trials_per_instance=trials,
+    )
+    for graph in family.yes:
+        ids = ids_factory(graph) if ids_factory else None
+        report.yes_estimates.append(
+            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed)
+        )
+    for graph in family.no:
+        ids = ids_factory(graph) if ids_factory else None
+        report.no_estimates.append(
+            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed)
+        )
+    return report

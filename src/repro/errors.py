@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "LabelError",
+    "IdentifierError",
+    "ModelViolationError",
+    "AlgorithmError",
+    "PromiseViolationError",
+    "DecisionError",
+    "TuringMachineError",
+    "ConstructionError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a labelled graph is malformed or an operation on it is invalid.
+
+    Examples: an edge referring to a node that is not in the node set,
+    requesting a ball around a node that does not exist, or constructing a
+    generator family with out-of-range parameters.
+    """
+
+
+class LabelError(GraphError):
+    """Raised when node labels are missing, malformed, or inconsistent."""
+
+
+class IdentifierError(ReproError):
+    """Raised when an identifier assignment is invalid.
+
+    Identifier assignments must be one-to-one maps from the node set to the
+    natural numbers; under model assumption ``(B)`` they must additionally
+    respect the bound ``Id(v) < f(n)``.
+    """
+
+
+class ModelViolationError(ReproError):
+    """Raised when an algorithm violates the constraints of its declared model.
+
+    For instance, an algorithm registered as Id-oblivious whose output is
+    observed to change under a renaming of the identifiers, or an
+    order-invariant algorithm whose output changes under an order-preserving
+    renaming.
+    """
+
+
+class AlgorithmError(ReproError):
+    """Raised when a local algorithm fails or returns an invalid output."""
+
+
+class PromiseViolationError(ReproError):
+    """Raised when an input violates the promise of a promise problem.
+
+    Promise problems place no requirement on the behaviour of deciders for
+    such inputs; this error is raised by strict runners that refuse to
+    evaluate them.
+    """
+
+
+class DecisionError(ReproError):
+    """Raised when a decider produces outputs inconsistent with the decision semantics."""
+
+
+class TuringMachineError(ReproError):
+    """Raised when a Turing machine description or simulation is invalid."""
+
+
+class ConstructionError(ReproError):
+    """Raised when one of the paper's graph constructions cannot be built.
+
+    For example, asking for the execution graph ``G(M, r)`` of a machine that
+    does not halt, or for a layered tree of negative depth.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when a mechanical verification of a paper claim fails.
+
+    The analysis helpers raise this when, e.g., a neighbourhood-coverage
+    check that the paper's proof relies on does not hold for the constructed
+    instances (which would indicate a bug in the construction code).
+    """

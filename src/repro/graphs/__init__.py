@@ -1,0 +1,72 @@
+"""Graph substrate: labelled graphs, identifiers, neighbourhoods, generators.
+
+This subpackage contains everything the LOCAL model needs to talk about its
+inputs: the labelled graphs ``(G, x)``, the identifier assignments ``Id``,
+the radius-t balls ``B(v, t)`` that local algorithms see, the structured
+graph families the paper's constructions live on, and labelled-graph
+isomorphism (the closure requirement for graph properties).
+"""
+
+from .labelled_graph import Edge, Label, LabelledGraph, Node
+from .identifiers import (
+    BoundedIdentifierSpace,
+    IdAssignment,
+    IdentifierSpace,
+    UnboundedIdentifierSpace,
+    default_bound,
+    enumerate_assignments,
+    enumerate_injections,
+    order_preserving_renamings,
+    random_assignment,
+    sequential_assignment,
+)
+from .neighbourhood import Neighbourhood, all_neighbourhoods, extract_neighbourhood
+from .generators import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    layered_binary_tree,
+    path_graph,
+    quadtree_pyramid,
+    random_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from .isomorphism import are_isomorphic, certificate, find_isomorphism, group_by_isomorphism
+
+__all__ = [
+    "Edge",
+    "Label",
+    "LabelledGraph",
+    "Node",
+    "BoundedIdentifierSpace",
+    "IdAssignment",
+    "IdentifierSpace",
+    "UnboundedIdentifierSpace",
+    "default_bound",
+    "enumerate_assignments",
+    "enumerate_injections",
+    "order_preserving_renamings",
+    "random_assignment",
+    "sequential_assignment",
+    "Neighbourhood",
+    "all_neighbourhoods",
+    "extract_neighbourhood",
+    "complete_binary_tree",
+    "complete_graph",
+    "cycle_graph",
+    "grid_graph",
+    "layered_binary_tree",
+    "path_graph",
+    "quadtree_pyramid",
+    "random_graph",
+    "random_tree",
+    "star_graph",
+    "torus_graph",
+    "are_isomorphic",
+    "certificate",
+    "find_isomorphism",
+    "group_by_isomorphism",
+]

@@ -1,0 +1,50 @@
+"""The LOCAL model: local algorithms, views, and two execution engines.
+
+Exports the algorithm base classes (full LOCAL, Id-oblivious,
+order-invariant, randomised), the yes/no output vocabulary, the direct
+ball-evaluation runner and the synchronous message-passing simulator, plus
+the PO-model (port numbering and orientation) substrate used in the
+related-work comparisons.
+"""
+
+from .outputs import NO, YES, Verdict, all_yes, some_no
+from .algorithm import (
+    FunctionAlgorithm,
+    FunctionIdObliviousAlgorithm,
+    FunctionRandomisedAlgorithm,
+    IdObliviousAlgorithm,
+    LocalAlgorithm,
+    OrderInvariantAlgorithm,
+    RandomisedLocalAlgorithm,
+    constant_algorithm,
+)
+from .runner import run_algorithm, run_algorithm_at, run_randomised_algorithm
+from .simulator import Knowledge, SimulationStats, SynchronousSimulator, simulate_algorithm
+from .ports import EdgeOrientation, PortNumbering, attach_port_labels, canonical_port_numbering
+
+__all__ = [
+    "NO",
+    "YES",
+    "Verdict",
+    "all_yes",
+    "some_no",
+    "FunctionAlgorithm",
+    "FunctionIdObliviousAlgorithm",
+    "FunctionRandomisedAlgorithm",
+    "IdObliviousAlgorithm",
+    "LocalAlgorithm",
+    "OrderInvariantAlgorithm",
+    "RandomisedLocalAlgorithm",
+    "constant_algorithm",
+    "run_algorithm",
+    "run_algorithm_at",
+    "run_randomised_algorithm",
+    "Knowledge",
+    "SimulationStats",
+    "SynchronousSimulator",
+    "simulate_algorithm",
+    "EdgeOrientation",
+    "PortNumbering",
+    "attach_port_labels",
+    "canonical_port_numbering",
+]

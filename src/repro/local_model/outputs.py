@@ -1,0 +1,47 @@
+"""Output vocabulary of local decision algorithms.
+
+The paper's local deciders output one of two values at every node:
+``yes`` or ``no`` (Section 1.2).  We model them as a tiny enum plus helper
+predicates, so that algorithm code reads close to the paper
+(``return YES`` / ``return NO``) and the decision semantics
+("accept iff every node says yes") is implemented once, in
+:mod:`repro.decision.decider`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+__all__ = ["Verdict", "YES", "NO", "all_yes", "some_no"]
+
+
+class Verdict(str, Enum):
+    """A single node's local output in a decision algorithm."""
+
+    YES = "yes"
+    NO = "no"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against accidental truthiness
+        raise TypeError(
+            "Verdict must not be used as a boolean; compare against YES/NO explicitly "
+            "or use all_yes()/some_no()"
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Module-level aliases so algorithm bodies can simply ``return YES``.
+YES = Verdict.YES
+NO = Verdict.NO
+
+
+def all_yes(verdicts: Iterable[Verdict]) -> bool:
+    """Return ``True`` when every local output is ``yes`` (global acceptance)."""
+    return all(v == Verdict.YES for v in verdicts)
+
+
+def some_no(verdicts: Iterable[Verdict]) -> bool:
+    """Return ``True`` when at least one local output is ``no`` (global rejection)."""
+    return any(v == Verdict.NO for v in verdicts)

@@ -1,0 +1,42 @@
+"""Classic labelled-graph properties used as running examples in the paper and prior work."""
+
+from .colouring import ProperColouringDecider, ProperColouringProperty, greedy_colouring
+from .independent_set import (
+    IN_SET,
+    OUT_SET,
+    MaximalIndependentSetDecider,
+    MaximalIndependentSetProperty,
+    greedy_mis,
+)
+from .matching import (
+    MaximalMatchingDecider,
+    MaximalMatchingProperty,
+    encode_matching,
+    greedy_matching,
+)
+from .planarity import PlanarityProperty
+from .paths import ForbiddenWindowDecider, RegularPathProperty, is_path, label_word
+from .hereditary import HereditaryProperty, induced_subgraphs, is_hereditary_on
+
+__all__ = [
+    "ProperColouringDecider",
+    "ProperColouringProperty",
+    "greedy_colouring",
+    "IN_SET",
+    "OUT_SET",
+    "MaximalIndependentSetDecider",
+    "MaximalIndependentSetProperty",
+    "greedy_mis",
+    "MaximalMatchingDecider",
+    "MaximalMatchingProperty",
+    "encode_matching",
+    "greedy_matching",
+    "PlanarityProperty",
+    "ForbiddenWindowDecider",
+    "RegularPathProperty",
+    "is_path",
+    "label_word",
+    "HereditaryProperty",
+    "induced_subgraphs",
+    "is_hereditary_on",
+]

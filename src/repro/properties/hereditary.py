@@ -1,0 +1,92 @@
+"""Hereditary languages.
+
+A labelled graph property is *hereditary* when it is closed under taking
+induced (label-preserving) subgraphs.  Hereditary languages play a special
+role in the related work the paper cites: Fraigniaud–Korman–Peleg proved a
+sharp randomisation threshold for them, and Fraigniaud–Halldórsson–Korman
+showed ``LD* = LD`` holds for hereditary languages.  The paper's Corollary 1
+observes that its Section-3 witness property shows the threshold result does
+*not* extend beyond hereditary languages in the Id-oblivious setting.
+
+This module provides:
+
+* :class:`HereditaryProperty` — a wrapper marking a property as hereditary
+  and able to *test* heredity empirically on small instance families (the
+  test enumerates induced subgraphs);
+* :func:`is_hereditary_on` — the standalone empirical check, used in tests
+  both positively (colouring, planarity, independence are hereditary) and
+  negatively (MIS and the paper's witness properties are not).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..decision.property import Property
+from ..graphs.labelled_graph import LabelledGraph
+
+__all__ = ["HereditaryProperty", "is_hereditary_on", "induced_subgraphs"]
+
+
+def induced_subgraphs(
+    graph: LabelledGraph,
+    min_nodes: int = 1,
+    max_subsets: Optional[int] = None,
+) -> Iterator[LabelledGraph]:
+    """Yield every induced (label-preserving) subgraph of a small graph.
+
+    The number of subgraphs is exponential; ``max_subsets`` truncates the
+    enumeration for safety.
+    """
+    nodes = list(graph.nodes())
+    count = 0
+    for size in range(min_nodes, len(nodes) + 1):
+        for subset in itertools.combinations(nodes, size):
+            yield graph.induced_subgraph(subset)
+            count += 1
+            if max_subsets is not None and count >= max_subsets:
+                return
+
+
+def is_hereditary_on(
+    prop: Property,
+    instances: Iterable[LabelledGraph],
+    max_subsets_per_instance: int = 2000,
+) -> bool:
+    """Empirically check heredity: every induced subgraph of a yes-instance is again a yes-instance.
+
+    Only instances that are themselves yes-instances contribute constraints.
+    A single violating subgraph refutes heredity; a clean pass over finite
+    families is evidence, not proof.
+    """
+    for graph in instances:
+        if not prop.contains(graph):
+            continue
+        for sub in induced_subgraphs(graph, min_nodes=1, max_subsets=max_subsets_per_instance):
+            if not prop.contains(sub):
+                return False
+    return True
+
+
+class HereditaryProperty(Property):
+    """Wrap an existing property and assert (and optionally verify) that it is hereditary."""
+
+    def __init__(self, base: Property, verified_on: Optional[Sequence[LabelledGraph]] = None) -> None:
+        self.base = base
+        self.name = f"hereditary:{base.name}"
+        if verified_on is not None and not is_hereditary_on(base, verified_on):
+            from ..errors import VerificationError
+
+            raise VerificationError(
+                f"property {base.name!r} is not hereditary on the supplied instances"
+            )
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        return self.base.contains(graph)
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        return self.base.yes_instances()
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        return self.base.no_instances()

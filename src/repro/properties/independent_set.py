@@ -1,0 +1,86 @@
+"""Maximal independent set (MIS): the paper's second example property.
+
+"(G, x) ∈ P if the nodes with x(v) = 1 form a maximal independent set in G"
+(Section 1.2).  Membership is locally checkable with horizon 1 and no
+identifiers: a selected node rejects if it has a selected neighbour
+(independence), and an unselected node rejects if none of its neighbours is
+selected (maximality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..decision.property import Property
+from ..graphs.generators import cycle_graph, path_graph, star_graph
+from ..graphs.labelled_graph import LabelledGraph
+from ..graphs.neighbourhood import Neighbourhood
+from ..local_model.algorithm import IdObliviousAlgorithm
+from ..local_model.outputs import NO, YES, Verdict
+
+__all__ = ["MaximalIndependentSetProperty", "MaximalIndependentSetDecider", "greedy_mis"]
+
+#: Label of selected nodes.
+IN_SET = 1
+#: Label of unselected nodes.
+OUT_SET = 0
+
+
+class MaximalIndependentSetProperty(Property):
+    """The property "nodes labelled 1 form a maximal independent set"."""
+
+    name = "maximal-independent-set"
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        labels = graph.labels()
+        if any(lab not in (IN_SET, OUT_SET) for lab in labels.values()):
+            return False
+        selected = {v for v, lab in labels.items() if lab == IN_SET}
+        # Independence.
+        for (u, v) in graph.edges():
+            if u in selected and v in selected:
+                return False
+        # Maximality: every unselected node has a selected neighbour.
+        for v in graph.nodes():
+            if v not in selected and not any(u in selected for u in graph.neighbours(v)):
+                return False
+        return True
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        yield cycle_graph(6).with_labels({i: IN_SET if i % 2 == 0 else OUT_SET for i in range(6)})
+        yield path_graph(5).with_labels({0: IN_SET, 1: OUT_SET, 2: IN_SET, 3: OUT_SET, 4: IN_SET})
+        yield star_graph(4).with_labels({0: IN_SET, 1: OUT_SET, 2: OUT_SET, 3: OUT_SET, 4: OUT_SET})
+        yield star_graph(4).with_labels({0: OUT_SET, 1: IN_SET, 2: IN_SET, 3: IN_SET, 4: IN_SET})
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        # Not independent.
+        yield path_graph(3).with_labels({0: IN_SET, 1: IN_SET, 2: OUT_SET})
+        # Not maximal.
+        yield path_graph(4).with_labels({0: IN_SET, 1: OUT_SET, 2: OUT_SET, 3: OUT_SET})
+        # Bad label value.
+        yield path_graph(2).with_labels({0: 2, 1: OUT_SET})
+
+
+class MaximalIndependentSetDecider(IdObliviousAlgorithm):
+    """Horizon-1 Id-oblivious decider for MIS membership."""
+
+    def __init__(self) -> None:
+        super().__init__(radius=1, name="mis-decider")
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        mine = view.center_label()
+        if mine not in (IN_SET, OUT_SET):
+            return NO
+        neighbour_labels = [view.label_of(u) for u in view.nodes_at_distance(1)]
+        if mine == IN_SET:
+            return NO if IN_SET in neighbour_labels else YES
+        return YES if IN_SET in neighbour_labels else NO
+
+
+def greedy_mis(graph: LabelledGraph) -> LabelledGraph:
+    """Return a copy of the graph labelled with a greedily computed maximal independent set."""
+    selected = set()
+    for v in graph.nodes():
+        if not any(u in selected for u in graph.neighbours(v)):
+            selected.add(v)
+    return graph.with_labels({v: IN_SET if v in selected else OUT_SET for v in graph.nodes()})

@@ -1,0 +1,51 @@
+"""Planarity: a global graph property used as a *negative* example for locality.
+
+"(G, x) ∈ P if G is a planar graph (and x is arbitrary)" (Section 1.2).
+Planarity is a labelled graph property but it is *not* locally decidable
+with any constant horizon: a K5 subdivision can be spread arbitrarily far
+apart, so no constant-radius view can ever be sure the graph is planar while
+single nodes also cannot safely reject.  The property is included here
+
+* to exercise the property interface on a global, hereditary property,
+* to provide instances for the Id-oblivious simulation benchmark, and
+* to demonstrate (in tests) how :mod:`repro.analysis.coverage` refutes
+  candidate constant-horizon deciders for it.
+
+The membership test delegates to :func:`networkx.check_planarity`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import networkx as nx
+
+from ..decision.property import Property
+from ..graphs.generators import complete_graph, cycle_graph, grid_graph, random_tree
+from ..graphs.labelled_graph import LabelledGraph
+
+__all__ = ["PlanarityProperty"]
+
+
+class PlanarityProperty(Property):
+    """The property "the underlying graph is planar" (labels ignored)."""
+
+    name = "planarity"
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        is_planar, _ = nx.check_planarity(graph.to_networkx())
+        return bool(is_planar)
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        yield cycle_graph(8)
+        yield grid_graph(3, 4)
+        yield random_tree(10, seed=1)
+        yield complete_graph(4)
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        yield complete_graph(5)
+        yield complete_graph(6)
+        # K_{3,3}
+        left = [f"l{i}" for i in range(3)]
+        right = [f"r{i}" for i in range(3)]
+        yield LabelledGraph(left + right, [(u, v) for u in left for v in right])

@@ -1,0 +1,14 @@
+"""The paper's separation constructions.
+
+* :mod:`repro.separation.bounded_ids` — Section 2: under bounded identifiers
+  ``(B)``, identifiers leak information about ``n`` and there is a property
+  in ``LD \\ LD*``.
+* :mod:`repro.separation.computability` — Section 3 and Appendix A: under
+  computable algorithms ``(C)``, there is a property in ``LD \\ LD*`` built
+  from Turing-machine execution tables; Corollary 1's randomised Id-oblivious
+  decider also lives here.
+"""
+
+from . import bounded_ids, computability
+
+__all__ = ["bounded_ids", "computability"]

@@ -1,0 +1,59 @@
+"""Section 2: separation of LD and LD* under bounded identifiers (B)."""
+
+from .promise_cycles import (
+    CyclePromiseProblem,
+    IdThresholdCycleDecider,
+    cycle_instance,
+    indistinguishability_certificate,
+)
+from .layered_trees import (
+    PIVOT_TAG,
+    SlabSpec,
+    small_bound,
+    bound_R,
+    build_layered_tree,
+    build_small_instance,
+    covering_slab_for,
+    covering_small_instances,
+    enumerate_slab_specs,
+    max_small_instance_size,
+    slab_border_nodes,
+    slab_nodes,
+)
+from .property_p import (
+    BoundedIdsLDDecider,
+    SmallInstancesProperty,
+    SmallOrLargeProperty,
+    StructureVerifier,
+    is_cell_label,
+    is_pivot_label,
+    section2_family,
+    section2_impossibility_certificate,
+)
+
+__all__ = [
+    "CyclePromiseProblem",
+    "IdThresholdCycleDecider",
+    "cycle_instance",
+    "indistinguishability_certificate",
+    "PIVOT_TAG",
+    "SlabSpec",
+    "small_bound",
+    "bound_R",
+    "build_layered_tree",
+    "build_small_instance",
+    "covering_slab_for",
+    "covering_small_instances",
+    "enumerate_slab_specs",
+    "max_small_instance_size",
+    "slab_border_nodes",
+    "slab_nodes",
+    "BoundedIdsLDDecider",
+    "SmallInstancesProperty",
+    "SmallOrLargeProperty",
+    "StructureVerifier",
+    "is_cell_label",
+    "is_pivot_label",
+    "section2_family",
+    "section2_impossibility_certificate",
+]

@@ -1,0 +1,53 @@
+"""The LD decider for the Section-3 witness property (Theorem 2, "P ∈ LD").
+
+The decider runs in two stages at every node (exactly as in the paper's
+proof of Theorem 2):
+
+1. the Id-oblivious structure check of
+   :class:`~repro.separation.computability.local_checker.ExecutionGraphChecker`
+   (property P2) — if it fails, output ``no``;
+2. otherwise the node reads the machine encoding ``M`` from its label and
+   simulates ``M`` for ``Id(v)`` steps; if the simulation halts and the
+   output is not ``0``, output ``no``; otherwise output ``yes``.
+
+Correctness hinges on property (P1): when all nodes pass stage 1 the input
+contains the full execution table of ``M``, so it has more nodes than ``M``'s
+running time and therefore — identifiers being one-to-one natural numbers —
+some node's identifier is at least the running time.  That node finishes the
+simulation in stage 2 and discovers ``M``'s true output.
+"""
+
+from __future__ import annotations
+
+from ...graphs.neighbourhood import Neighbourhood
+from ...local_model.algorithm import LocalAlgorithm
+from ...local_model.outputs import NO, YES, Verdict
+from ...turing.machine import TuringMachine
+from .execution_graph import parse_cell_label
+from .local_checker import ExecutionGraphChecker
+
+__all__ = ["ComputabilityLDDecider"]
+
+
+class ComputabilityLDDecider(LocalAlgorithm):
+    """Two-stage LD decider for ``P = {G(M, r) : M outputs 0}``."""
+
+    def __init__(self, radius: int = 2, max_simulation_steps: int = 1_000_000) -> None:
+        super().__init__(radius=radius, name="sec3-ld-decider")
+        self.checker = ExecutionGraphChecker(radius=radius)
+        self.max_simulation_steps = max_simulation_steps
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        # Stage 1: Id-oblivious structure check.
+        if self.checker.evaluate(view.without_ids()) == NO:
+            return NO
+        # Stage 2: simulate M for Id(v) steps.
+        parsed = parse_cell_label(view.center_label())
+        if parsed is None:  # pragma: no cover - stage 1 already rejects malformed labels
+            return NO
+        machine = TuringMachine.decode(parsed[0])
+        budget = min(view.center_id(), self.max_simulation_steps)
+        result = machine.run(budget, keep_history=False)
+        if result.halted and result.output != "0":
+            return NO
+        return YES

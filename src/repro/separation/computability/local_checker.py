@@ -1,0 +1,233 @@
+"""Local checkability of ``G(M, r)`` — property (P2) / Appendix A, steps 1–5.
+
+The checker is an Id-oblivious local algorithm run at every node; it accepts
+exactly (on the experiment families) the graphs of the form ``G(M, r)`` and
+rejects corrupted variants.  Per-node rules, following Appendix A:
+
+1. the node and all its neighbours carry well-formed cell labels naming the
+   same ``(M, r)``;
+2. grid edges are recognised through the ``(mod 3)`` coordinates: each
+   neighbour must sit at one of the four relative grid positions (up, down,
+   left, right) and no two neighbours may occupy the same one; edges that do
+   not fit any grid position are *inter-grid* edges (the pivot gluing);
+3. the cell's content is consistent with the row above it under ``M``'s
+   transition rules (the 2 × 3 window rule of
+   :func:`repro.turing.execution_table.consistent_cell`), with unknown
+   (outside-view) cells treated permissively;
+4. a cell with no "up" grid neighbour and no inter-grid edge must look like
+   the first row of a real execution table: a blank symbol, carrying the
+   head in the start state iff it also has no "left" grid neighbour (this is
+   what pins the unique pivot of ``T``);
+5. only two kinds of nodes may be incident to inter-grid edges: the pivot of
+   ``T`` (start-state head, no up/left neighbours) and fragment border
+   cells; a fragment's top-row cells must all have inter-grid edges.
+
+The paper's step 6 (the pivot recomputes ``C(M, r)`` via Lemma 2 and checks
+the attached fragments are exactly that collection) is performed in this
+reproduction by the global ground-truth membership test
+(:class:`repro.separation.computability.execution_graph.ComputabilityWitnessProperty`)
+rather than inside the per-node algorithm; the simplification is recorded in
+DESIGN.md and does not affect the separation experiments (the checker still
+rejects every corrupted instance exercised by the test-suite, and it remains
+a computable, constant-radius, Id-oblivious algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...graphs.labelled_graph import Node
+from ...graphs.neighbourhood import Neighbourhood
+from ...local_model.algorithm import IdObliviousAlgorithm
+from ...local_model.outputs import NO, YES, Verdict
+from ...turing.execution_table import Cell, consistent_cell
+from ...turing.machine import BLANK, TuringMachine
+from .execution_graph import PIVOT_CELL_TAG, parse_cell_label
+
+__all__ = ["classify_neighbours", "ExecutionGraphChecker"]
+
+#: Relative (dx, dy) offsets of the four grid directions, in (column, row) form.
+_DIRECTIONS = {
+    "up": (0, -1),
+    "down": (0, 1),
+    "left": (-1, 0),
+    "right": (1, 0),
+}
+
+
+def classify_neighbours(
+    view: Neighbourhood, center: Optional[Node] = None
+) -> Optional[Tuple[Dict[str, Node], Tuple[Node, ...]]]:
+    """Classify the neighbours of a cell node into grid directions and inter-grid edges.
+
+    Returns ``(directions, inter_grid)`` where ``directions`` maps
+    ``"up"/"down"/"left"/"right"`` to the unique neighbour at that relative
+    ``(mod 3)`` position, and ``inter_grid`` lists the remaining neighbours.
+    Returns ``None`` when the classification fails (a malformed neighbour
+    label, or two neighbours claiming the same grid direction), which the
+    checker treats as a rejection.
+    """
+    node = center if center is not None else view.center
+    mine = parse_cell_label(view.label_of(node))
+    if mine is None:
+        return None
+    _, _, _, xm, ym, _, _ = mine
+    directions: Dict[str, Node] = {}
+    inter_grid = []
+    for u in view.graph.neighbours(node):
+        lab = parse_cell_label(view.label_of(u))
+        if lab is None:
+            return None
+        _, _, utag, uxm, uym, _, _ = lab
+        if utag == PIVOT_CELL_TAG:
+            # Edges towards the pivot are the gluing (inter-grid) edges.
+            inter_grid.append(u)
+            continue
+        matched = None
+        for name, (dx, dy) in _DIRECTIONS.items():
+            if uxm == (xm + dx) % 3 and uym == (ym + dy) % 3:
+                matched = name
+                break
+        if matched is None:
+            inter_grid.append(u)
+        else:
+            if matched in directions:
+                return None
+            directions[matched] = u
+    return directions, tuple(inter_grid)
+
+
+class ExecutionGraphChecker(IdObliviousAlgorithm):
+    """Id-oblivious structure checker for ``G(M, r)`` (property P2, steps 1–5)."""
+
+    def __init__(self, radius: int = 2, name: str = "sec3-structure-checker") -> None:
+        super().__init__(radius=radius, name=name)
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        mine = parse_cell_label(view.center_label())
+        if mine is None:
+            return NO
+        enc, r, tag, xm, ym, symbol, state = mine
+
+        # Step 1: agreement on (M, r) across the whole view.
+        for u in view.nodes():
+            lab = parse_cell_label(view.label_of(u))
+            if lab is None or lab[0] != enc or lab[1] != r:
+                return NO
+        try:
+            machine = TuringMachine.decode(enc)
+        except Exception:
+            return NO
+        if symbol not in machine.alphabet:
+            return NO
+        if state is not None and state not in machine.states:
+            return NO
+
+        if tag == PIVOT_CELL_TAG:
+            # The pivot is the top-left cell of the real table: blank symbol,
+            # head in the start state.  (The exhaustive comparison of its
+            # attached fragments against C(M, r) — the paper's step 6 — is
+            # performed by the global membership test in this reproduction.)
+            if symbol != BLANK or state != machine.start_state:
+                return NO
+            return YES
+
+        # Step 2: classify the centre's neighbours.
+        classified = classify_neighbours(view)
+        if classified is None:
+            return NO
+        directions, inter_grid = classified
+
+        # Step 3: local execution-rule consistency against the row above.
+        cell_here = Cell(symbol, state)
+        up = directions.get("up")
+        above = self._cell_of(view, up)
+        above_left, left_unknown = self._diagonal(view, up, "left", directions)
+        above_right, right_unknown = self._diagonal(view, up, "right", directions)
+        if up is not None and not consistent_cell(
+            machine,
+            above_left,
+            above,
+            above_right,
+            cell_here,
+            left_unknown=left_unknown,
+            right_unknown=right_unknown,
+        ):
+            return NO
+
+        # Step 4: a cell with no "up" neighbour and no inter-grid edge must be
+        # a first-row cell of the real table: blank symbol, head in the start
+        # state iff it is also the leftmost cell.
+        if up is None and not inter_grid:
+            if symbol != BLANK:
+                return NO
+            if "left" not in directions:
+                if state != machine.start_state:
+                    return NO
+            else:
+                if state is not None:
+                    return NO
+
+        # Step 5: nodes with inter-grid edges are either the pivot of T (start
+        # state head, no up/left neighbours) or fragment border cells; a
+        # fragment top-row cell (no up neighbour, has inter-grid edges) is
+        # always fine, but an interior cell (all four grid neighbours present)
+        # may not carry inter-grid edges unless it is the pivot.
+        if inter_grid:
+            is_pivot_like = (
+                up is None
+                and "left" not in directions
+                and state == machine.start_state
+                and symbol == BLANK
+            )
+            is_border_like = len(directions) < 4
+            if not (is_pivot_like or is_border_like):
+                return NO
+        return YES
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _cell_of(view: Neighbourhood, node: Optional[Node]) -> Optional[Cell]:
+        if node is None:
+            return None
+        lab = parse_cell_label(view.label_of(node))
+        if lab is None:
+            return None
+        return Cell(lab[5], lab[6])
+
+    def _diagonal(
+        self,
+        view: Neighbourhood,
+        up: Optional[Node],
+        side: str,
+        my_directions: Dict[str, Node],
+    ) -> Tuple[Optional[Cell], bool]:
+        """Return the cell diagonally above (above-left or above-right) and whether it is unknown.
+
+        The diagonal cell is reached either as the ``side`` neighbour of the
+        ``up`` neighbour or as the ``up`` neighbour of the ``side`` neighbour.
+        When neither path yields a visible cell the diagonal is reported as
+        *unknown* (permissive): a missing diagonal may legitimately be a true
+        table border, a fragment-window border behind which the head entered
+        from outside, or simply lie outside the node's view, and the checker
+        must not reject any of those.  The stricter border-specific rules the
+        paper can afford with its pyramidal coordinates are noted in
+        DESIGN.md as a simplification of this reproduction.
+        """
+        candidates = []
+        if up is not None and up in view.graph.nodes():
+            cls = classify_neighbours(view, center=up)
+            if cls is not None:
+                candidates.append(cls[0].get(side))
+        side_node = my_directions.get(side)
+        if side_node is not None and side_node in view.graph.nodes():
+            cls = classify_neighbours(view, center=side_node)
+            if cls is not None:
+                candidates.append(cls[0].get("up"))
+        for cand in candidates:
+            if cand is not None:
+                return self._cell_of(view, cand), False
+        return None, True

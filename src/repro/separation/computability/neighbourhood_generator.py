@@ -1,0 +1,139 @@
+"""The neighbourhood generator ``B(N, r)`` — property (P3).
+
+The generator must *halt on every machine* ``N`` (halting or not) and, when
+``N`` does halt, output exactly the set of ``r``-neighbourhood types of
+``G(N, r)``.  Following the paper:
+
+* compute the fragment collection ``C(N, r)`` (Lemma 2 — purely syntactic,
+  always terminates);
+* build the *partial* execution table ``T_{4r}``: the first ``4r`` rows of
+  ``N``'s execution, each of width ``4r`` (computable without knowing
+  whether ``N`` halts);
+* glue ``C`` to the pivot of ``T_{4r}`` exactly as in ``G(N, r)``;
+* output the ``r``-neighbourhoods of the resulting graph ``G_{4r}`` that do
+  not contain nodes from the bottom row of ``T_{4r}``.
+
+The correctness intuition: if ``N`` halts, every ``r``-neighbourhood of
+``G(N, r)`` is already realised somewhere in ``G_{4r}`` (deep-table
+neighbourhoods are realised inside fragments), and conversely every emitted
+neighbourhood occurs in ``G(N, r)``.  The separation algorithm ``R`` of
+Theorem 2 runs a candidate Id-oblivious decider on this computable set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...errors import ConstructionError
+from ...graphs.labelled_graph import LabelledGraph, Node
+from ...graphs.neighbourhood import Neighbourhood, extract_neighbourhood
+from ...turing.execution_table import Cell, cell_label
+from ...turing.machine import TuringMachine
+from .execution_graph import PIVOT_CELL_TAG
+from .fragments import FragmentCollection
+
+__all__ = ["build_partial_execution_graph", "neighbourhood_generator"]
+
+
+def _partial_table_rows(machine: TuringMachine, rows: int, width: int) -> List[Tuple[Cell, ...]]:
+    """Compute the first ``rows`` configurations of ``machine`` restricted to ``width`` tape cells."""
+    config = machine.initial_configuration()
+    out: List[Tuple[Cell, ...]] = []
+    for _ in range(rows):
+        cells = tuple(
+            Cell(config.symbol_at(j), config.state if j == config.head else None)
+            for j in range(width)
+        )
+        out.append(cells)
+        if machine.is_halting(config):
+            # Halting configurations repeat (the real table simply ends here;
+            # repeating keeps the partial table rectangular and locally
+            # consistent, and the bottom rows are excluded from the output).
+            continue
+        config = machine.step(config)
+    return out
+
+
+def build_partial_execution_graph(
+    machine: TuringMachine,
+    r: int,
+    rows: Optional[int] = None,
+    width: Optional[int] = None,
+    fragment_side: Optional[int] = None,
+    max_fragments: Optional[int] = 200_000,
+) -> Tuple[LabelledGraph, Node, List[Node]]:
+    """Build ``G_{4r}``: the partial table ``T_{4r}`` with the fragment collection glued to its pivot.
+
+    Returns ``(graph, pivot, bottom_row_nodes)``.
+    """
+    rows = rows if rows is not None else max(4 * r, 4)
+    width = width if width is not None else max(4 * r, 4)
+    if rows < 2 or width < 2:
+        raise ConstructionError("partial table needs at least 2 rows and 2 columns")
+    enc = machine.encode()
+    table_rows = _partial_table_rows(machine, rows, width)
+
+    nodes: List[Node] = []
+    edges: List[Tuple[Node, Node]] = []
+    labels: Dict[Node, object] = {}
+    for i in range(rows):
+        for j in range(width):
+            name = ("T", i, j)
+            nodes.append(name)
+            labels[name] = cell_label(enc, r, j, i, table_rows[i][j])
+            if i + 1 < rows:
+                edges.append((name, ("T", i + 1, j)))
+            if j + 1 < width:
+                edges.append((name, ("T", i, j + 1)))
+    pivot = ("T", 0, 0)
+    labels[pivot] = labels[pivot][:2] + (PIVOT_CELL_TAG,) + labels[pivot][3:]
+
+    collection = FragmentCollection(machine, r, side=fragment_side, max_fragments=max_fragments)
+    for k, frag in enumerate(collection.glueable_variants()):
+        for i in range(frag.height):
+            for j in range(frag.width):
+                name = ("F", k, i, j)
+                nodes.append(name)
+                labels[name] = cell_label(enc, r, j, i, frag.rows[i][j])
+                if i + 1 < frag.height:
+                    edges.append((name, ("F", k, i + 1, j)))
+                if j + 1 < frag.width:
+                    edges.append((name, ("F", k, i, j + 1)))
+        for (i, j) in sorted(frag.non_natural_border_cells(machine)):
+            edges.append((pivot, ("F", k, i, j)))
+
+    graph = LabelledGraph(nodes, edges, labels)
+    bottom = [("T", rows - 1, j) for j in range(width)]
+    return graph, pivot, bottom
+
+
+def neighbourhood_generator(
+    machine: TuringMachine,
+    r: int,
+    fragment_side: Optional[int] = None,
+    max_fragments: Optional[int] = 200_000,
+    skip_pivot_region: bool = False,
+) -> List[Neighbourhood]:
+    """The paper's algorithm ``B``: a computable set of ``r``-neighbourhoods covering ``G(N, r)``.
+
+    Halts for every machine ``N``.  Neighbourhoods containing bottom-row
+    nodes of the partial table are excluded (they may be artefacts of the
+    truncation).  ``skip_pivot_region`` additionally drops neighbourhoods
+    containing the pivot, which is useful for the cheaper coverage
+    experiments (the pivot's own neighbourhood contains the entire fragment
+    collection and is expensive to canonicalise).
+    """
+    graph, pivot, bottom = build_partial_execution_graph(
+        machine, r, fragment_side=fragment_side, max_fragments=max_fragments
+    )
+    bottom_set: Set[Node] = set(bottom)
+    out: List[Neighbourhood] = []
+    for v in graph.nodes():
+        view = extract_neighbourhood(graph, v, r)
+        ball = set(view.nodes())
+        if ball & bottom_set:
+            continue
+        if skip_pivot_region and pivot in ball:
+            continue
+        out.append(view)
+    return out

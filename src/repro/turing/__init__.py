@@ -1,0 +1,44 @@
+"""Turing machine substrate: machines, execution tables, machine library."""
+
+from .machine import BLANK, Configuration, Move, RunResult, Transition, TuringMachine
+from .execution_table import (
+    BoundaryCrossings,
+    Cell,
+    CellLabel,
+    ExecutionTable,
+    cell_label,
+    consistent_cell,
+    row_successors,
+)
+from .library import (
+    binary_counter_machine,
+    halting_machine,
+    looping_machine,
+    machines_outputting,
+    standard_library,
+    walker_machine,
+    zigzag_machine,
+)
+
+__all__ = [
+    "BLANK",
+    "Configuration",
+    "Move",
+    "RunResult",
+    "Transition",
+    "TuringMachine",
+    "BoundaryCrossings",
+    "Cell",
+    "CellLabel",
+    "ExecutionTable",
+    "cell_label",
+    "consistent_cell",
+    "row_successors",
+    "binary_counter_machine",
+    "halting_machine",
+    "looping_machine",
+    "machines_outputting",
+    "standard_library",
+    "walker_machine",
+    "zigzag_machine",
+]

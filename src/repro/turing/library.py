@@ -1,0 +1,279 @@
+"""A library of concrete Turing machines used across tests, examples and benchmarks.
+
+The Section-3 separation reasons about the computably-inseparable languages
+``L0 = {M : M outputs 0}`` and ``L1 = {M : M outputs 1}``.  A code
+reproduction cannot, of course, enumerate all machines, but it can exercise
+every code path on representative families:
+
+* machines that halt quickly with output ``0`` (members of ``L0``);
+* machines that halt quickly with output ``1`` (members of ``L1``);
+* machines that provably never halt (members of neither), which are the
+  inputs on which the neighbourhood generator ``B`` must still terminate;
+* machines with tunable running time (unary walkers, binary counters), used
+  to scale the execution-table constructions in benchmarks.
+
+All machines use the tape alphabet ``{"0", "1", BLANK}`` so that a single
+fragment alphabet covers the whole library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .machine import BLANK, Move, Transition, TuringMachine
+
+__all__ = [
+    "halting_machine",
+    "looping_machine",
+    "walker_machine",
+    "zigzag_machine",
+    "binary_counter_machine",
+    "standard_library",
+    "machines_outputting",
+]
+
+
+def _total(
+    transitions: Dict[Tuple[str, str], Tuple[str, str, Move]],
+    states: List[str],
+    halt_state: str,
+    alphabet: Tuple[str, ...] = ("0", "1", BLANK),
+) -> Dict[Tuple[str, str], Transition]:
+    """Fill in missing transitions with a harmless default (write back, stay, same state) going to halt.
+
+    The machine model requires totality; library machines only specify the
+    transitions they actually use, and the filler sends any unreachable
+    (state, symbol) pair straight to the halting state without moving.
+    """
+    full: Dict[Tuple[str, str], Transition] = {}
+    for (state, symbol), (new_state, write, move) in transitions.items():
+        full[(state, symbol)] = Transition(new_state=new_state, write=write, move=move)
+    for state in states:
+        if state == halt_state:
+            continue
+        for symbol in alphabet:
+            full.setdefault((state, symbol), Transition(new_state=halt_state, write=symbol, move=Move.STAY))
+    return full
+
+
+def halting_machine(output: str = "0", delay: int = 0, name: str | None = None) -> TuringMachine:
+    """Return a machine that performs ``delay`` busy steps and halts with the given output.
+
+    The machine walks right ``delay`` cells writing ``1``s, walks back to
+    cell 0, writes the requested output symbol and halts on it.  Its running
+    time is ``2 * delay + 1`` steps (one extra step for the final write), so
+    benchmarks can scale execution tables linearly through ``delay``.
+    """
+    if output not in ("0", "1"):
+        raise ValueError(f"output must be '0' or '1', got {output!r}")
+    if delay < 0:
+        raise ValueError(f"delay must be non-negative, got {delay}")
+    name = name or f"halt-{output}-delay{delay}"
+    states = [f"fwd{i}" for i in range(delay)] + [f"back{i}" for i in range(delay)] + ["write", "halt"]
+    transitions: Dict[Tuple[str, str], Tuple[str, str, Move]] = {}
+    # forward phase: write 1s moving right
+    for i in range(delay):
+        nxt = f"fwd{i + 1}" if i + 1 < delay else "back0" if delay > 0 else "write"
+        transitions[(f"fwd{i}", BLANK)] = (nxt, "1", Move.RIGHT)
+        transitions[(f"fwd{i}", "1")] = (nxt, "1", Move.RIGHT)
+        transitions[(f"fwd{i}", "0")] = (nxt, "1", Move.RIGHT)
+    # backward phase: return to cell 0
+    for i in range(delay):
+        nxt = f"back{i + 1}" if i + 1 < delay else "write"
+        for sym in ("0", "1", BLANK):
+            transitions[(f"back{i}", sym)] = (nxt, sym, Move.LEFT)
+    # final write
+    for sym in ("0", "1", BLANK):
+        transitions[("write", sym)] = ("halt", output, Move.STAY)
+    start = "fwd0" if delay > 0 else "write"
+    return TuringMachine(
+        name=name,
+        states=states,
+        alphabet=("0", "1", BLANK),
+        transitions=_total(transitions, states, "halt"),
+        start_state=start,
+        halt_state="halt",
+    )
+
+
+def looping_machine(name: str = "loop-right") -> TuringMachine:
+    """Return a machine that provably never halts (it walks right forever writing 1s).
+
+    Members of neither ``L0`` nor ``L1``; used to exercise the promise
+    problems and to check that the neighbourhood generator ``B`` terminates
+    on non-halting machines.
+    """
+    states = ["run", "halt"]
+    transitions = {
+        ("run", BLANK): ("run", "1", Move.RIGHT),
+        ("run", "0"): ("run", "1", Move.RIGHT),
+        ("run", "1"): ("run", "1", Move.RIGHT),
+    }
+    return TuringMachine(
+        name=name,
+        states=states,
+        alphabet=("0", "1", BLANK),
+        transitions=_total(transitions, states, "halt"),
+        start_state="run",
+        halt_state="halt",
+    )
+
+
+def walker_machine(distance: int, output: str = "0", name: str | None = None) -> TuringMachine:
+    """Return a machine that walks ``distance`` cells to the right, writes ``output`` and halts.
+
+    A minimal machine with running time ``distance + 1``; the walked cells
+    keep their blank symbol, so the execution table exhibits a clean moving
+    head against an unchanged tape.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if output not in ("0", "1"):
+        raise ValueError(f"output must be '0' or '1', got {output!r}")
+    name = name or f"walker-{distance}-{output}"
+    states = [f"w{i}" for i in range(distance)] + ["write", "halt"]
+    transitions: Dict[Tuple[str, str], Tuple[str, str, Move]] = {}
+    for i in range(distance):
+        nxt = f"w{i + 1}" if i + 1 < distance else "write"
+        for sym in ("0", "1", BLANK):
+            transitions[(f"w{i}", sym)] = (nxt, sym, Move.RIGHT)
+    for sym in ("0", "1", BLANK):
+        transitions[("write", sym)] = ("halt", output, Move.STAY)
+    start = "w0" if distance > 0 else "write"
+    return TuringMachine(
+        name=name,
+        states=states,
+        alphabet=("0", "1", BLANK),
+        transitions=_total(transitions, states, "halt"),
+        start_state=start,
+        halt_state="halt",
+    )
+
+
+def zigzag_machine(width: int, passes: int, output: str = "0", name: str | None = None) -> TuringMachine:
+    """Return a machine that sweeps left-right over ``width`` cells ``passes`` times, then halts.
+
+    Running time is roughly ``2 * width * passes``; the head repeatedly
+    crosses the same tape region, which produces execution tables whose
+    interior windows genuinely contain head movement in both directions —
+    a richer test for the fragment generator than a one-way walker.
+    """
+    if width < 1 or passes < 1:
+        raise ValueError("width and passes must be at least 1")
+    if output not in ("0", "1"):
+        raise ValueError(f"output must be '0' or '1', got {output!r}")
+    name = name or f"zigzag-w{width}-p{passes}-{output}"
+    states: List[str] = []
+    transitions: Dict[Tuple[str, str], Tuple[str, str, Move]] = {}
+    for p in range(passes):
+        right = f"R{p}_"
+        left = f"L{p}_"
+        for i in range(width):
+            states.append(f"{right}{i}")
+        for i in range(width):
+            states.append(f"{left}{i}")
+        for i in range(width):
+            nxt = f"{right}{i + 1}" if i + 1 < width else f"{left}0"
+            for sym in ("0", "1", BLANK):
+                transitions[(f"{right}{i}", sym)] = (nxt, "1" if sym == BLANK else sym, Move.RIGHT)
+        for i in range(width):
+            if i + 1 < width:
+                nxt = f"{left}{i + 1}"
+            elif p + 1 < passes:
+                nxt = f"R{p + 1}_0"
+            else:
+                nxt = "write"
+            for sym in ("0", "1", BLANK):
+                transitions[(f"{left}{i}", sym)] = (nxt, sym, Move.LEFT)
+    states.extend(["write", "halt"])
+    for sym in ("0", "1", BLANK):
+        transitions[("write", sym)] = ("halt", output, Move.STAY)
+    return TuringMachine(
+        name=name,
+        states=states,
+        alphabet=("0", "1", BLANK),
+        transitions=_total(transitions, states, "halt"),
+        start_state="R0_0",
+        halt_state="halt",
+    )
+
+
+def binary_counter_machine(bits: int, output: str = "0", name: str | None = None) -> TuringMachine:
+    """Return a machine that counts from 0 to ``2**bits - 1`` in binary, then halts.
+
+    The counter occupies ``bits`` tape cells; each increment sweeps from the
+    least-significant bit carrying as needed.  Running time grows roughly
+    like ``2**bits``, giving the benchmarks a super-linear scaling knob.
+    The counter lives with its least-significant bit at cell 0.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be at least 1, got {bits}")
+    if output not in ("0", "1"):
+        raise ValueError(f"output must be '0' or '1', got {output!r}")
+    name = name or f"counter-{bits}bit-{output}"
+    # Phase 1 ("init*"/"ret*"): write `bits` zeros, return to cell 0.
+    # Phase 2 ("inc"/"rew*"): repeatedly increment; carrying walks right
+    # flipping 1s to 0s; finding a 0 writes the carried 1 and rewinds `bits`
+    # cells back to cell 0 (over-shooting is harmless because a left move at
+    # cell 0 stays put); carrying all the way onto a blank cell means the
+    # counter overflowed, so the machine finishes.
+    states = (
+        [f"init{i}" for i in range(bits)]
+        + [f"ret{i}" for i in range(bits)]
+        + ["inc"]
+        + [f"rew{i}" for i in range(bits)]
+        + ["write", "halt"]
+    )
+    transitions: Dict[Tuple[str, str], Tuple[str, str, Move]] = {}
+    for i in range(bits):
+        nxt = f"init{i + 1}" if i + 1 < bits else f"ret{bits - 1}"
+        for sym in ("0", "1", BLANK):
+            transitions[(f"init{i}", sym)] = (nxt, "0", Move.RIGHT)
+    for i in range(bits - 1, -1, -1):
+        nxt = f"ret{i - 1}" if i > 0 else "inc"
+        for sym in ("0", "1", BLANK):
+            transitions[(f"ret{i}", sym)] = (nxt, sym, Move.LEFT)
+    # Increment with carry.
+    transitions[("inc", "1")] = ("inc", "0", Move.RIGHT)
+    transitions[("inc", "0")] = (f"rew{bits - 1}", "1", Move.LEFT)
+    transitions[("inc", BLANK)] = ("write", BLANK, Move.STAY)  # overflow
+    for i in range(bits - 1, -1, -1):
+        nxt = f"rew{i - 1}" if i > 0 else "inc"
+        for sym in ("0", "1", BLANK):
+            transitions[(f"rew{i}", sym)] = (nxt, sym, Move.LEFT)
+    for sym in ("0", "1", BLANK):
+        transitions[("write", sym)] = ("halt", output, Move.STAY)
+    return TuringMachine(
+        name=name,
+        states=states,
+        alphabet=("0", "1", BLANK),
+        transitions=_total(transitions, states, "halt"),
+        start_state="init0",
+        halt_state="halt",
+    )
+
+
+def standard_library() -> List[TuringMachine]:
+    """Return the default machine family used by tests and benchmarks.
+
+    It contains members of ``L0``, members of ``L1``, and a non-halting
+    machine, at several running-time scales.
+    """
+    return [
+        halting_machine("0", delay=0),
+        halting_machine("1", delay=0),
+        halting_machine("0", delay=2),
+        halting_machine("1", delay=2),
+        walker_machine(3, "0"),
+        walker_machine(3, "1"),
+        zigzag_machine(2, 2, "0"),
+        zigzag_machine(2, 2, "1"),
+        looping_machine(),
+    ]
+
+
+def machines_outputting(symbol: str, max_delay: int = 3) -> List[TuringMachine]:
+    """Return a small family of machines all halting with the given output symbol."""
+    return [halting_machine(symbol, delay=d) for d in range(max_delay + 1)] + [
+        walker_machine(d, symbol) for d in range(1, max_delay + 1)
+    ]

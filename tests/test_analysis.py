@@ -1,0 +1,83 @@
+"""Unit tests for the coverage analysis and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentLog,
+    build_impossibility_certificate,
+    coverage_report,
+    format_table,
+    neighbourhood_census,
+    oblivious_decider_is_fooled,
+)
+from repro.errors import VerificationError
+from repro.graphs import cycle_graph, path_graph
+from repro.local_model import NO, YES, FunctionIdObliviousAlgorithm
+
+
+def test_neighbourhood_census():
+    census = neighbourhood_census(cycle_graph(8, label="x"), radius=1)
+    assert len(census) == 1  # all views identical
+    assert sum(census.values()) == 8
+    census_path = neighbourhood_census(path_graph(5, label="x"), radius=1)
+    assert len(census_path) == 2  # endpoints vs interior
+
+
+def test_coverage_cycle_by_cycle():
+    # Longer cycle is locally covered by a shorter one with the same labels.
+    report = coverage_report(cycle_graph(12, "x"), [cycle_graph(8, "x")], radius=2)
+    assert report.fully_covered
+    assert report.coverage_fraction == 1.0
+    # But a cycle is not covered by a path (whose interior matches, endpoints do not matter,
+    # the cycle nodes all match the path interior) — and the reverse direction fails:
+    report_rev = coverage_report(path_graph(8, "x"), [cycle_graph(12, "x")], radius=2)
+    assert not report_rev.fully_covered  # path endpoints see degree-1 nodes, cycles never do
+    assert 0 < report_rev.coverage_fraction < 1
+
+
+def test_certificate_and_fooling_consequence():
+    cert = build_impossibility_certificate(
+        property_name="short-cycles",
+        radius=1,
+        fooling_instance=cycle_graph(10, "x"),
+        covering_yes_instances=[cycle_graph(6, "x")],
+    )
+    assert cert.valid
+    assert "accepts the yes-instances" in cert.explain() or "also accepts" in cert.explain()
+
+    # Any Id-oblivious radius-1 decider accepting the 6-cycle accepts the 10-cycle.
+    accept_all = FunctionIdObliviousAlgorithm(lambda v: YES, radius=1, name="accept")
+    assert oblivious_decider_is_fooled(accept_all, cert)
+    # A decider rejecting the yes-instance is simply not correct; not "fooled".
+    reject_all = FunctionIdObliviousAlgorithm(lambda v: NO, radius=1, name="reject")
+    assert not oblivious_decider_is_fooled(reject_all, cert)
+    # Horizon larger than the certificate radius is not constrained by it.
+    wide = FunctionIdObliviousAlgorithm(lambda v: YES, radius=3, name="wide")
+    with pytest.raises(VerificationError):
+        oblivious_decider_is_fooled(wide, cert)
+
+
+def test_invalid_certificate_detection():
+    cert = build_impossibility_certificate(
+        property_name="bad",
+        radius=1,
+        fooling_instance=path_graph(6, "x"),
+        covering_yes_instances=[cycle_graph(6, "x")],
+    )
+    assert not cert.valid
+    assert "INVALID" in cert.explain()
+    with pytest.raises(VerificationError):
+        build_impossibility_certificate(
+            "bad", 1, path_graph(6, "x"), [cycle_graph(6, "x")], require_valid=True
+        )
+
+
+def test_format_table_and_experiment_log():
+    text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+    assert "T" in text and "30" in text and "|" in text
+    log = ExperimentLog("exp")
+    log.add({"n": 4}, {"ok": True})
+    log.add({"n": 8}, {"ok": False})
+    table = log.to_table()
+    assert "exp" in table and "8" in table
+    assert ExperimentLog("empty").to_table().startswith("empty")

@@ -1,0 +1,182 @@
+"""Unit tests for repro.decision: semantics, verification, classes, audits, randomised deciders."""
+
+import pytest
+
+from repro.decision import (
+    ClassWitness,
+    DecisionClass,
+    FunctionProperty,
+    InstanceFamily,
+    NonDeterministicDecider,
+    ObliviousSimulation,
+    audit_id_obliviousness,
+    audit_order_invariance,
+    decide,
+    decide_outcome,
+    estimate_acceptance_probability,
+    evaluate_pq_decider,
+    verify_decider,
+    verify_nondeterministic_decider,
+    wilson_interval,
+)
+from repro.errors import DecisionError, PromiseViolationError
+from repro.graphs import cycle_graph, path_graph, sequential_assignment
+from repro.local_model import (
+    NO,
+    YES,
+    FunctionAlgorithm,
+    FunctionIdObliviousAlgorithm,
+    FunctionRandomisedAlgorithm,
+)
+from repro.properties import ProperColouringDecider, ProperColouringProperty
+
+
+def test_decide_semantics():
+    g = path_graph(3).with_labels({0: 0, 1: 1, 2: 0})
+    dec = ProperColouringDecider(2)
+    outcome = decide_outcome(dec, g)
+    assert outcome.accepted and not outcome.rejecting_nodes
+    bad = path_graph(3).with_labels({0: 0, 1: 0, 2: 1})
+    outcome = decide_outcome(dec, bad)
+    assert not outcome.accepted
+    assert set(outcome.rejecting_nodes) == {0, 1}
+
+
+def test_decider_must_return_verdicts():
+    g = path_graph(2)
+    alg = FunctionIdObliviousAlgorithm(lambda v: "maybe", radius=0)
+    with pytest.raises(DecisionError):
+        decide(alg, g)
+
+
+def test_verify_decider_reports_counterexamples():
+    prop = ProperColouringProperty(3)
+    good = ProperColouringDecider(3)
+    assert verify_decider(good, prop).correct
+
+    # A broken decider that accepts everything.
+    broken = FunctionIdObliviousAlgorithm(lambda v: YES, radius=1, name="always-yes")
+    report = verify_decider(broken, prop)
+    assert not report.correct
+    assert all(not ce.expected for ce in report.counter_examples)  # only false accepts
+    assert "FAILED" in report.summary()
+
+
+def test_promise_property_raises_outside_promise():
+    from repro.separation.bounded_ids import CyclePromiseProblem
+
+    prob = CyclePromiseProblem()
+    with pytest.raises(PromiseViolationError):
+        prob.contains(cycle_graph(5, label=99))  # size neither r nor f(r)
+
+
+def test_class_witness_validation():
+    prop = ProperColouringProperty(3)
+    ok = ClassWitness(prop, DecisionClass.LD_STAR, ProperColouringDecider(3))
+    assert ok.verify().correct
+    id_using = FunctionAlgorithm(lambda v: YES, radius=1)
+    with pytest.raises(DecisionError):
+        ClassWitness(prop, DecisionClass.LD_STAR, id_using)
+
+
+def test_nondeterministic_decider_two_colourability():
+    # NLD-style certificate: a proper 2-colouring certifies "bipartite".
+    verifier = FunctionIdObliviousAlgorithm(
+        lambda view: NO
+        if any(view.label_of(u)[1] == view.center_label()[1] for u in view.nodes_at_distance(1))
+        or view.center_label()[1] not in (0, 1)
+        else YES,
+        radius=1,
+        name="2col-verifier",
+    )
+
+    def prover(graph):
+        colours = {}
+        for start in graph.nodes():
+            if start in colours:
+                continue
+            colours[start] = 0
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                for u in graph.neighbours(v):
+                    if u not in colours:
+                        colours[u] = 1 - colours[v]
+                        stack.append(u)
+        return colours
+
+    decider = NonDeterministicDecider(
+        verifier=verifier,
+        prover=prover,
+        certificate_space=lambda graph: [0, 1],
+        name="bipartite-nld",
+    )
+    family = InstanceFamily(
+        "bipartite",
+        yes_instances=[cycle_graph(6), path_graph(5)],
+        no_instances=[cycle_graph(5)],
+    )
+    report = verify_nondeterministic_decider(decider, family)
+    assert report.correct
+
+
+def test_oblivious_simulation_agrees_when_ids_are_irrelevant():
+    prop = ProperColouringProperty(2)
+    base = FunctionAlgorithm(
+        lambda v: NO
+        if v.center_label() is None
+        or any(v.label_of(u) == v.center_label() for u in v.nodes_at_distance(1))
+        else YES,
+        radius=1,
+        name="colour-with-ids-available",
+    )
+    sim = ObliviousSimulation(base, identifier_pool=range(8))
+    good = path_graph(4).with_labels({i: i % 2 for i in range(4)})
+    bad = path_graph(4).with_labels({i: 0 for i in range(4)})
+    assert decide(sim, good)
+    assert not decide(sim, bad)
+
+
+def test_audit_detects_id_dependence():
+    g = path_graph(3, label="x")
+    dependent = FunctionAlgorithm(
+        lambda v: YES if v.center_id() % 2 == 0 else NO, radius=0, name="id-parity"
+    )
+    report = audit_id_obliviousness(dependent, g, identifier_pool=range(4))
+    assert not report.invariant
+    independent = FunctionAlgorithm(lambda v: YES, radius=0)
+    assert audit_id_obliviousness(independent, g, identifier_pool=range(4)).invariant
+
+
+def test_audit_order_invariance():
+    g = path_graph(3, label="x")
+    # Depends only on the relative order (am I the max?): order-invariant.
+    oi = FunctionAlgorithm(
+        lambda v: YES if v.center_id() == v.max_visible_identifier() else NO,
+        radius=1,
+        name="am-i-max",
+    )
+    assert audit_order_invariance(oi, g, identifier_pool=range(5)).invariant
+    # Depends on the numeric value: not order-invariant.
+    numeric = FunctionAlgorithm(lambda v: YES if v.center_id() > 10 else NO, radius=0)
+    assert not audit_order_invariance(numeric, g, identifier_pool=range(15)).invariant
+
+
+def test_wilson_interval_and_pq_evaluation():
+    low, high = wilson_interval(90, 100)
+    assert 0.8 < low < 0.9 < high <= 1.0
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    always_yes = FunctionRandomisedAlgorithm(lambda v, rng: YES, radius=0, name="yes")
+    g = cycle_graph(4, label="c")
+    est = estimate_acceptance_probability(always_yes, g, trials=20, seed=1)
+    assert est.acceptance_rate == 1.0
+
+    # Rejects with prob 1/2 per node -> accepts a 4-cycle with prob 1/16.
+    coin = FunctionRandomisedAlgorithm(
+        lambda v, rng: YES if rng.random() < 0.5 else NO, radius=0, name="coin"
+    )
+    family = InstanceFamily("coin-family", yes_instances=[], no_instances=[g])
+    report = evaluate_pq_decider(coin, family, p=1.0, q=0.5, trials=60, seed=2)
+    assert report.worst_no_rejection > 0.5
+    assert report.satisfied

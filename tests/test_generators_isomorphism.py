@@ -1,0 +1,101 @@
+"""Unit tests for graph generators and labelled-graph isomorphism."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    are_isomorphic,
+    certificate,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    find_isomorphism,
+    grid_graph,
+    group_by_isomorphism,
+    layered_binary_tree,
+    path_graph,
+    quadtree_pyramid,
+    random_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+
+
+def test_cycle_path_star_complete():
+    assert cycle_graph(5).num_edges() == 5
+    assert path_graph(5).num_edges() == 4
+    assert star_graph(4).num_edges() == 4
+    assert complete_graph(5).num_edges() == 10
+    with pytest.raises(GraphError):
+        cycle_graph(2)
+
+
+def test_grid_and_torus():
+    g = grid_graph(3, 4)
+    assert g.num_nodes() == 12
+    assert g.num_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+    t = torus_graph(3, 4)
+    assert t.num_nodes() == 12
+    assert all(t.degree(v) == 4 for v in t.nodes())
+    # torus interior looks like grid interior but has no corner nodes
+    assert min(g.degree(v) for v in g.nodes()) == 2
+
+
+def test_binary_and_layered_trees():
+    t = complete_binary_tree(3)
+    assert t.num_nodes() == 15
+    assert t.num_edges() == 14
+    lt = layered_binary_tree(3)
+    extra_horizontal = sum(2**y - 1 for y in range(4))
+    assert lt.num_edges() == 14 + extra_horizontal
+    # root has no horizontal neighbours, leaves form a path
+    assert lt.degree((0, 0)) == 2
+    assert lt.degree((3, 0)) == 2  # parent + right horizontal
+
+
+def test_quadtree_pyramid_structure():
+    p = quadtree_pyramid(4)
+    # levels: 16 + 4 + 1
+    assert p.num_nodes() == 21
+    apex = (0, 0, 2)
+    assert p.has_node(apex)
+    # apex is unique: only node at the top level
+    top_level_nodes = [v for v in p.nodes() if v[2] == 2]
+    assert top_level_nodes == [apex]
+    # every base node has exactly one parent in the next level
+    for x in range(4):
+        for y in range(4):
+            parents = [u for u in p.neighbours((x, y, 0)) if u[2] == 1]
+            assert len(parents) == 1
+    with pytest.raises(GraphError):
+        quadtree_pyramid(3)
+
+
+def test_random_graph_and_tree():
+    g = random_graph(10, 0.5, seed=1)
+    assert g.num_nodes() == 10
+    t = random_tree(10, seed=2)
+    assert t.num_edges() == 9
+    assert t.is_connected()
+    connected = random_graph(12, 0.4, seed=3, require_connected=True)
+    assert connected.is_connected()
+
+
+def test_isomorphism_respects_labels():
+    g1 = cycle_graph(5, label="a")
+    g2 = cycle_graph(5, label="a").relabel_nodes({i: i + 10 for i in range(5)})
+    g3 = cycle_graph(5, label="b")
+    assert are_isomorphic(g1, g2)
+    assert not are_isomorphic(g1, g3)
+    assert are_isomorphic(g1, g3, respect_labels=False)
+    mapping = find_isomorphism(g1, g2)
+    assert mapping is not None and set(mapping.values()) == set(g2.nodes())
+    assert find_isomorphism(g1, path_graph(5)) is None
+
+
+def test_certificate_and_grouping():
+    graphs = [cycle_graph(6, "x"), cycle_graph(6, "x"), cycle_graph(6, "y"), path_graph(6, "x")]
+    assert certificate(graphs[0]) == certificate(graphs[1])
+    classes = group_by_isomorphism(graphs)
+    assert sorted(len(c) for c in classes) == [1, 1, 2]

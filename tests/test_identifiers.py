@@ -1,0 +1,103 @@
+"""Unit tests for repro.graphs.identifiers."""
+
+import random
+
+import pytest
+
+from repro.errors import IdentifierError
+from repro.graphs import (
+    BoundedIdentifierSpace,
+    IdAssignment,
+    UnboundedIdentifierSpace,
+    cycle_graph,
+    default_bound,
+    enumerate_assignments,
+    order_preserving_renamings,
+    path_graph,
+    random_assignment,
+    sequential_assignment,
+)
+
+
+def test_id_assignment_validation():
+    IdAssignment({0: 1, 1: 2})
+    with pytest.raises(IdentifierError):
+        IdAssignment({0: 1, 1: 1})  # not one-to-one
+    with pytest.raises(IdentifierError):
+        IdAssignment({0: -1})
+    with pytest.raises(IdentifierError):
+        IdAssignment({0: "x"})  # type: ignore[dict-item]
+    with pytest.raises(IdentifierError):
+        IdAssignment({0: True})  # bools are not identifiers
+
+
+def test_assignment_helpers():
+    ids = IdAssignment({"a": 5, "b": 2, "c": 9})
+    assert ids.max_identifier() == 9
+    assert ids.node_with_max_identifier() == "c"
+    assert ids.respects_bound(10) and not ids.respects_bound(9)
+    restricted = ids.restrict(["a", "b"])
+    assert set(restricted) == {"a", "b"}
+    with pytest.raises(IdentifierError):
+        ids.restrict(["z"])
+    shifted = ids.shifted(3)
+    assert shifted["a"] == 8
+    renamed = ids.renamed({5: 100})
+    assert renamed["a"] == 100 and renamed["b"] == 2
+
+
+def test_sequential_and_random_assignment():
+    g = cycle_graph(5)
+    seq = sequential_assignment(g)
+    assert sorted(seq.identifiers()) == [0, 1, 2, 3, 4]
+    seq1 = sequential_assignment(g, start=1)
+    assert min(seq1.identifiers()) == 1
+    rnd = random_assignment(g, pool_size=20, rng=random.Random(0))
+    assert len(set(rnd.identifiers())) == 5
+    assert all(i < 20 for i in rnd.identifiers())
+    with pytest.raises(IdentifierError):
+        random_assignment(g, pool_size=3)
+
+
+def test_bounded_space_legality_and_adversarial():
+    g = cycle_graph(4)
+    space = BoundedIdentifierSpace(default_bound)  # f(n) = 2n + 4
+    assert space.bound_for(4) == 12
+    assert space.is_legal(g, sequential_assignment(g))
+    assert not space.is_legal(g, IdAssignment({v: 100 + v for v in g.nodes()}))
+    adv = space.adversarial(g)
+    assert max(adv.identifiers()) == 11
+    assert space.is_legal(g, adv)
+    space.validate(g, adv)
+    with pytest.raises(IdentifierError):
+        space.validate(g, IdAssignment({0: 0}))  # misses nodes
+
+
+def test_bounded_space_inverse_bound():
+    space = BoundedIdentifierSpace(lambda n: 2 * n + 4)
+    # smallest j with f(j) > 10 is j = 4 (f(3)=10, f(4)=12)
+    assert space.inverse_bound(10) == 4
+
+
+def test_unbounded_space():
+    g = path_graph(3)
+    space = UnboundedIdentifierSpace()
+    assert space.bound_for(3) is None
+    assert space.is_legal(g, IdAssignment({v: 10**9 + v for v in g.nodes()}))
+
+
+def test_enumerate_assignments_counts():
+    g = path_graph(2)
+    all_assignments = list(enumerate_assignments(g, [0, 1, 2]))
+    assert len(all_assignments) == 6  # P(3, 2)
+    assert len({tuple(sorted(a.items())) for a in all_assignments}) == 6
+    assert list(enumerate_assignments(g, [0])) == []
+
+
+def test_order_preserving_renamings_preserve_order():
+    g = path_graph(3)
+    base = sequential_assignment(g)
+    for renamed in order_preserving_renamings(base, range(6)):
+        order_base = sorted(base, key=base.__getitem__)
+        order_new = sorted(renamed, key=renamed.__getitem__)
+        assert order_base == order_new

@@ -1,0 +1,135 @@
+"""Unit tests for repro.local_model: algorithms, runner, simulator, ports."""
+
+import pytest
+
+from repro.errors import AlgorithmError, GraphError, IdentifierError
+from repro.graphs import cycle_graph, grid_graph, path_graph, sequential_assignment
+from repro.local_model import (
+    NO,
+    YES,
+    EdgeOrientation,
+    FunctionAlgorithm,
+    FunctionIdObliviousAlgorithm,
+    FunctionRandomisedAlgorithm,
+    SynchronousSimulator,
+    Verdict,
+    all_yes,
+    attach_port_labels,
+    canonical_port_numbering,
+    constant_algorithm,
+    run_algorithm,
+    run_algorithm_at,
+    run_randomised_algorithm,
+    simulate_algorithm,
+    some_no,
+)
+
+
+def test_verdict_vocabulary():
+    assert str(YES) == "yes" and str(NO) == "no"
+    assert all_yes([YES, YES]) and not all_yes([YES, NO])
+    assert some_no([YES, NO]) and not some_no([YES])
+    with pytest.raises(TypeError):
+        bool(YES)
+
+
+def test_constant_algorithm_and_runner():
+    g = cycle_graph(4, label="c")
+    alg = constant_algorithm(YES, radius=0)
+    outputs = run_algorithm(alg, g)
+    assert all(out == YES for out in outputs.values())
+    assert run_algorithm_at(alg, g, 0) == YES
+
+
+def test_full_local_algorithm_requires_ids():
+    g = path_graph(3)
+    alg = FunctionAlgorithm(lambda v: YES if v.center_id() >= 0 else NO, radius=1)
+    with pytest.raises(IdentifierError):
+        run_algorithm(alg, g)
+    outputs = run_algorithm(alg, g, sequential_assignment(g))
+    assert all(out == YES for out in outputs.values())
+
+
+def test_oblivious_algorithm_never_sees_ids():
+    g = path_graph(3)
+
+    def peek(view):
+        with pytest.raises(IdentifierError):
+            view.center_id()
+        return YES
+
+    alg = FunctionIdObliviousAlgorithm(peek, radius=1)
+    run_algorithm(alg, g, sequential_assignment(g))
+
+
+def test_invalid_radius_rejected():
+    with pytest.raises(AlgorithmError):
+        FunctionAlgorithm(lambda v: YES, radius=-1)
+
+
+def test_simulator_matches_ball_evaluation():
+    g = grid_graph(3, 4, label="g")
+    ids = sequential_assignment(g)
+    alg = FunctionAlgorithm(
+        lambda v: YES if v.max_visible_identifier() % 2 == 0 else NO, radius=2, name="parity"
+    )
+    direct = run_algorithm(alg, g, ids)
+    simulated, stats = simulate_algorithm(alg, g, ids)
+    assert direct == simulated
+    assert stats.rounds == alg.radius + 1
+    assert stats.messages_sent > 0
+
+
+def test_simulator_knowledge_growth():
+    g = path_graph(6, label="p")
+    sim = SynchronousSimulator(g, sequential_assignment(g))
+    assert sim.known_radius(0) == 0
+    sim.run_rounds(2)
+    assert sim.known_radius(0) >= 2
+    view = sim.local_view(0, 1)
+    assert set(view.nodes()) == {0, 1}
+    with pytest.raises(AlgorithmError):
+        sim.local_view(0, 5)  # not enough rounds yet
+    with pytest.raises(AlgorithmError):
+        sim.run_rounds(-1)
+
+
+def test_simulator_without_ids():
+    g = cycle_graph(5, label="c")
+    alg = FunctionIdObliviousAlgorithm(lambda v: YES if v.center_degree() == 2 else NO, radius=1)
+    outputs, _ = simulate_algorithm(alg, g)
+    assert all(out == YES for out in outputs.values())
+
+
+def test_randomised_runner_determinism_per_seed():
+    g = cycle_graph(6, label="r")
+    alg = FunctionRandomisedAlgorithm(
+        lambda view, rng: YES if rng.random() < 0.5 else NO, radius=1
+    )
+    out1 = run_randomised_algorithm(alg, g, seed=42)
+    out2 = run_randomised_algorithm(alg, g, seed=42)
+    out3 = run_randomised_algorithm(alg, g, seed=43)
+    assert out1 == out2
+    assert set(out1.keys()) == set(g.nodes())
+    assert isinstance(out3[0], Verdict)
+
+
+def test_port_numbering_and_orientation():
+    g = cycle_graph(4)
+    ports = canonical_port_numbering(g)
+    for v in g.nodes():
+        numbers = sorted(ports.port(v, u) for u in g.neighbours(v))
+        assert numbers == [1, 2]
+        for u in g.neighbours(v):
+            assert ports.neighbour_on_port(v, ports.port(v, u)) == u
+    with pytest.raises(GraphError):
+        ports.port(0, 2)  # not an edge
+
+    orientation = EdgeOrientation(g, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    assert orientation.head(0, 1) == 1
+    assert orientation.is_oriented_from_to(3, 0)
+    assert orientation.out_neighbours(0) == (1,)
+
+    labelled = attach_port_labels(g, ports, orientation)
+    lab = labelled.label(0)
+    assert lab[0] == "po" and len(lab) == 4

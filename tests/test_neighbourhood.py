@@ -1,0 +1,111 @@
+"""Unit tests for repro.graphs.neighbourhood (views, canonical keys)."""
+
+import pytest
+
+from repro.errors import IdentifierError
+from repro.graphs import (
+    all_neighbourhoods,
+    cycle_graph,
+    extract_neighbourhood,
+    grid_graph,
+    path_graph,
+    sequential_assignment,
+    star_graph,
+)
+
+
+def test_extraction_basics():
+    g = cycle_graph(6, label="c")
+    ids = sequential_assignment(g)
+    view = extract_neighbourhood(g, 0, 2, ids)
+    assert view.center == 0
+    assert set(view.nodes()) == {4, 5, 0, 1, 2}
+    assert view.center_label() == "c"
+    assert view.center_id() == 0
+    assert view.distance(2) == 2
+    assert set(view.boundary_nodes()) == {4, 2}
+    assert view.max_visible_identifier() == 5
+
+
+def test_view_without_ids_refuses_id_queries():
+    g = path_graph(4)
+    view = extract_neighbourhood(g, 1, 1)
+    with pytest.raises(IdentifierError):
+        view.center_id()
+    with pytest.raises(IdentifierError):
+        view.identifiers()
+
+
+def test_oblivious_key_invariant_under_id_change_and_node_renaming():
+    g = cycle_graph(8, label="x")
+    ids_a = sequential_assignment(g)
+    ids_b = sequential_assignment(g, start=100)
+    va = extract_neighbourhood(g, 3, 2, ids_a)
+    vb = extract_neighbourhood(g, 3, 2, ids_b)
+    assert va.oblivious_key() == vb.oblivious_key()
+    # different centre of the same symmetric graph: same oblivious type
+    vc = extract_neighbourhood(g, 5, 2, ids_a)
+    assert va.oblivious_key() == vc.oblivious_key()
+    # renaming nodes does not change the key
+    renamed = g.relabel_nodes({v: f"n{v}" for v in g.nodes()})
+    vr = extract_neighbourhood(renamed, "n3", 2)
+    assert vr.oblivious_key() == va.oblivious_key()
+
+
+def test_structure_key_distinguishes_identifiers():
+    g = path_graph(5, label="p")
+    ids_a = sequential_assignment(g)
+    ids_b = sequential_assignment(g, start=7)
+    va = extract_neighbourhood(g, 2, 1, ids_a)
+    vb = extract_neighbourhood(g, 2, 1, ids_b)
+    assert va.structure_key() != vb.structure_key()
+    assert va.oblivious_key() == vb.oblivious_key()
+
+
+def test_oblivious_key_distinguishes_labels_and_topology():
+    c1 = cycle_graph(8, label="a")
+    c2 = cycle_graph(8, label="b")
+    v1 = extract_neighbourhood(c1, 0, 1)
+    v2 = extract_neighbourhood(c2, 0, 1)
+    assert v1.oblivious_key() != v2.oblivious_key()
+    p = path_graph(8, label="a")
+    vp = extract_neighbourhood(p, 0, 1)  # endpoint: degree 1
+    assert vp.oblivious_key() != v1.oblivious_key()
+
+
+def test_cycle_vs_path_interior_views_indistinguishable():
+    # The heart of local indistinguishability: an interior node of a long
+    # path and any node of a long cycle have the same radius-t view.
+    cycle = cycle_graph(10, label="z")
+    path = path_graph(10, label="z")
+    vc = extract_neighbourhood(cycle, 0, 2)
+    vp = extract_neighbourhood(path, 5, 2)
+    assert vc.isomorphic_to(vp)
+
+
+def test_grid_center_views_isomorphic():
+    g = grid_graph(5, 5, label="g")
+    v1 = extract_neighbourhood(g, (2, 2), 1)
+    v2 = extract_neighbourhood(g, (2, 2), 1)
+    assert v1.isomorphic_to(v2, use_ids=False)
+    corner = extract_neighbourhood(g, (0, 0), 1)
+    assert not corner.isomorphic_to(v1)
+
+
+def test_all_neighbourhoods_and_star_fallback_key():
+    g = star_graph(12, label="s")  # centre has degree 12 -> triggers WL fallback path
+    views = all_neighbourhoods(g, 1)
+    assert len(views) == 13
+    centre_view = [v for v in views if v.center == 0][0]
+    leaf_view = [v for v in views if v.center == 1][0]
+    assert centre_view.oblivious_key() != leaf_view.oblivious_key()
+    # two leaves are equivalent
+    leaf_view2 = [v for v in views if v.center == 2][0]
+    assert leaf_view.oblivious_key() == leaf_view2.oblivious_key()
+
+
+def test_wl_certificate_consistency():
+    g = cycle_graph(9, label="w")
+    v1 = extract_neighbourhood(g, 1, 2)
+    v2 = extract_neighbourhood(g, 4, 2)
+    assert v1.wl_certificate() == v2.wl_certificate()

@@ -1,0 +1,84 @@
+"""Unit tests for the classic property library (colouring, MIS, matching, planarity, paths, heredity)."""
+
+import pytest
+
+from repro.decision import verify_decider
+from repro.graphs import cycle_graph, grid_graph, path_graph, star_graph
+from repro.properties import (
+    IN_SET,
+    OUT_SET,
+    MaximalIndependentSetDecider,
+    MaximalIndependentSetProperty,
+    MaximalMatchingDecider,
+    MaximalMatchingProperty,
+    PlanarityProperty,
+    ProperColouringDecider,
+    ProperColouringProperty,
+    RegularPathProperty,
+    greedy_colouring,
+    greedy_matching,
+    greedy_mis,
+    is_hereditary_on,
+    is_path,
+    label_word,
+)
+
+
+def test_colouring_property_and_decider():
+    prop = ProperColouringProperty(3)
+    assert verify_decider(ProperColouringDecider(3), prop).correct
+    g = greedy_colouring(grid_graph(3, 3))
+    assert ProperColouringProperty(None).contains(g)
+    assert not prop.contains(cycle_graph(4))  # unlabelled
+
+
+def test_mis_property_and_decider():
+    prop = MaximalIndependentSetProperty()
+    assert verify_decider(MaximalIndependentSetDecider(), prop).correct
+    g = greedy_mis(grid_graph(3, 4))
+    assert prop.contains(g)
+    # Empty set on a non-empty graph is not maximal.
+    empty = path_graph(3).with_labels({i: OUT_SET for i in range(3)})
+    assert not prop.contains(empty)
+
+
+def test_matching_property_and_decider():
+    prop = MaximalMatchingProperty()
+    assert verify_decider(MaximalMatchingDecider(), prop).correct
+    g = greedy_matching(grid_graph(3, 3))
+    assert prop.contains(g)
+
+
+def test_planarity_property():
+    prop = PlanarityProperty()
+    assert prop.contains(grid_graph(4, 4))
+    assert all(prop.contains(g) for g in prop.yes_instances())
+    assert not any(prop.contains(g) for g in prop.no_instances())
+
+
+def test_path_language():
+    lang = RegularPathProperty(alphabet=[0, 1], forbidden_windows=[(1, 1)], name="no-11")
+    good = path_graph(4).with_labels({0: 1, 1: 0, 2: 1, 3: 0})
+    bad = path_graph(4).with_labels({0: 0, 1: 1, 2: 1, 3: 0})
+    assert lang.contains(good)
+    assert not lang.contains(bad)
+    assert not lang.contains(cycle_graph(4, label=0))  # not a path
+    assert verify_decider(lang.decider(), lang).correct
+    assert label_word(good) in ([1, 0, 1, 0], [0, 1, 0, 1])
+    assert is_path(path_graph(1)) and not is_path(cycle_graph(3))
+
+
+def test_path_language_reversal_closure():
+    lang = RegularPathProperty(alphabet=["a", "b"], forbidden_windows=[("a", "b")], name="no-ab")
+    word_ab = path_graph(2).with_labels({0: "a", 1: "b"})
+    # the word can be read in both directions; "ab" occurs in one of them
+    assert not lang.contains(word_ab)
+
+
+def test_heredity_checks():
+    colouring = ProperColouringProperty(3)
+    assert is_hereditary_on(colouring, colouring.yes_instances())
+    mis = MaximalIndependentSetProperty()
+    assert not is_hereditary_on(mis, mis.yes_instances())
+    planar = PlanarityProperty()
+    assert is_hereditary_on(planar, [grid_graph(3, 3), star_graph(4)])
