@@ -7,6 +7,9 @@ The package is organised as follows:
 * :mod:`repro.local_model` — local algorithms (LOCAL / Id-oblivious / OI /
   randomised), the ball-evaluation runner and the synchronous
   message-passing simulator, port numberings;
+* :mod:`repro.engine` — pluggable execution backends (direct ball
+  evaluation, synchronous message passing, batched+memoised caching) that
+  every execution path routes through via ``engine=`` arguments;
 * :mod:`repro.decision` — labelled graph properties, decision semantics,
   classes LD / LD* / NLD / BPLD, the generic Id-oblivious simulation ``A*``,
   randomised (p, q)-deciders;
@@ -20,17 +23,24 @@ The package is organised as follows:
   impossibility arguments), experiment records and report formatting.
 """
 
-from . import decision, graphs, local_model
+from . import decision, engine, graphs, local_model
 from .decision import Property, decide
+from .engine import CachedEngine, DirectEngine, ExecutionEngine, SynchronousEngine, resolve_engine
 from .graphs import IdAssignment, LabelledGraph
 from .local_model import NO, YES, Verdict
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "graphs",
     "local_model",
+    "engine",
     "decision",
+    "ExecutionEngine",
+    "DirectEngine",
+    "SynchronousEngine",
+    "CachedEngine",
+    "resolve_engine",
     "LabelledGraph",
     "IdAssignment",
     "YES",

@@ -34,9 +34,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..decision.classes import ImpossibilityCertificate
 from ..decision.decider import decide
+from ..engine.base import EngineLike, resolve_engine
 from ..errors import VerificationError
 from ..graphs.labelled_graph import LabelledGraph, Node
-from ..graphs.neighbourhood import all_neighbourhoods
 from ..local_model.algorithm import IdObliviousAlgorithm, LocalAlgorithm
 from ..local_model.outputs import NO, YES
 from ..local_model.runner import run_algorithm
@@ -51,15 +51,26 @@ __all__ = [
 ]
 
 
-def neighbourhood_keys(graph: LabelledGraph, radius: int, centers: Optional[Iterable[Node]] = None) -> Dict[Node, Tuple]:
-    """Return, for every node (or every node in ``centers``), its Id-oblivious neighbourhood key."""
-    views = all_neighbourhoods(graph, radius, ids=None, centers=centers)
-    return {view.center: view.oblivious_key() for view in views}
+def neighbourhood_keys(
+    graph: LabelledGraph,
+    radius: int,
+    centers: Optional[Iterable[Node]] = None,
+    engine: EngineLike = None,
+) -> Dict[Node, Tuple]:
+    """Return, for every node (or every node in ``centers``), its Id-oblivious neighbourhood key.
+
+    ``engine`` selects how views are produced; the
+    :class:`~repro.engine.cached.CachedEngine` extracts all balls of the
+    graph in one batched pass and caches them, which matters when the same
+    graph is used both as a coverage target and as a covering instance.
+    """
+    views = resolve_engine(engine).views(graph, radius, ids=None, nodes=centers)
+    return {v: view.oblivious_key() for v, view in views.items()}
 
 
-def neighbourhood_census(graph: LabelledGraph, radius: int) -> Counter:
+def neighbourhood_census(graph: LabelledGraph, radius: int, engine: EngineLike = None) -> Counter:
     """Return the multiset (Counter) of Id-oblivious radius-``radius`` neighbourhood types of a graph."""
-    return Counter(neighbourhood_keys(graph, radius).values())
+    return Counter(neighbourhood_keys(graph, radius, engine=engine).values())
 
 
 @dataclass
@@ -99,6 +110,7 @@ def coverage_report(
     covering: Sequence[LabelledGraph],
     radius: int,
     target_centers: Optional[Iterable[Node]] = None,
+    engine: EngineLike = None,
 ) -> CoverageReport:
     """Check whether every radius-``radius`` neighbourhood type of ``target`` occurs in ``covering``.
 
@@ -106,12 +118,13 @@ def coverage_report(
     ``target_centers`` restricts the check to a subset of the target's nodes
     (the paper sometimes only needs the nodes far from a boundary).
     """
+    engine = resolve_engine(engine)
     covering_keys: Dict[Tuple, int] = {}
     for idx, g in enumerate(covering):
-        for key in neighbourhood_keys(g, radius).values():
+        for key in neighbourhood_keys(g, radius, engine=engine).values():
             covering_keys.setdefault(key, idx)
 
-    target_keys = neighbourhood_keys(target, radius, centers=target_centers)
+    target_keys = neighbourhood_keys(target, radius, centers=target_centers, engine=engine)
     report = CoverageReport(
         radius=radius,
         target_nodes=len(target_keys),
@@ -134,9 +147,10 @@ def build_impossibility_certificate(
     target_centers: Optional[Iterable[Node]] = None,
     notes: str = "",
     require_valid: bool = False,
+    engine: EngineLike = None,
 ) -> ImpossibilityCertificate:
     """Build (and optionally insist on) an impossibility certificate from a coverage check."""
-    report = coverage_report(fooling_instance, covering_yes_instances, radius, target_centers)
+    report = coverage_report(fooling_instance, covering_yes_instances, radius, target_centers, engine=engine)
     cert = ImpossibilityCertificate(
         property_name=property_name,
         radius=radius,
@@ -157,6 +171,7 @@ def build_impossibility_certificate(
 def oblivious_decider_is_fooled(
     decider: IdObliviousAlgorithm,
     certificate: ImpossibilityCertificate,
+    engine: EngineLike = None,
 ) -> bool:
     """Check the operational consequence of a valid certificate on a *concrete* Id-oblivious decider.
 
@@ -179,7 +194,8 @@ def oblivious_decider_is_fooled(
             f"decider horizon {decider.radius} exceeds certificate radius {certificate.radius}; "
             "the coverage statement does not constrain this decider"
         )
-    accepts_all_yes = all(decide(decider, g) for g in certificate.covering_yes_instances)
+    engine = resolve_engine(engine)
+    accepts_all_yes = all(decide(decider, g, engine=engine) for g in certificate.covering_yes_instances)
     if not accepts_all_yes:
         return False
-    return decide(decider, certificate.fooling_instance)
+    return decide(decider, certificate.fooling_instance, engine=engine)

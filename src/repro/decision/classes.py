@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..engine.base import EngineLike, resolve_engine
 from ..errors import DecisionError
 from ..graphs.identifiers import IdAssignment, IdentifierSpace
 from ..graphs.labelled_graph import LabelledGraph, Node
@@ -100,6 +101,7 @@ class ClassWitness:
         samples: int = 4,
         exhaustive_pool: Optional[Sequence[int]] = None,
         seed: int = 0,
+        engine: EngineLike = None,
     ) -> VerificationReport:
         """Mechanically check the witness on a family of instances."""
         return verify_decider(
@@ -110,6 +112,7 @@ class ClassWitness:
             exhaustive_pool=exhaustive_pool,
             samples=samples,
             seed=seed,
+            engine=engine,
         )
 
 
@@ -213,11 +216,14 @@ class NonDeterministicDecider:
         prover: Callable[[LabelledGraph], Mapping[Node, object]],
         certificate_space: Callable[[LabelledGraph], Sequence[object]],
         name: str = "nld-decider",
+        engine: EngineLike = None,
     ) -> None:
         self.verifier = verifier
         self.prover = prover
         self.certificate_space = certificate_space
         self.name = name
+        # Resolve once so a named backend keeps one cache across all checks.
+        self.engine = resolve_engine(engine)
 
     @staticmethod
     def _attach(graph: LabelledGraph, certificates: Mapping[Node, object]) -> LabelledGraph:
@@ -227,7 +233,7 @@ class NonDeterministicDecider:
                      ids: Optional[IdAssignment] = None) -> bool:
         """Run the verifier on the certified graph and apply the acceptance rule."""
         certified = self._attach(graph, certificates)
-        return decide(self.verifier, certified, ids)
+        return decide(self.verifier, certified, ids, engine=self.engine)
 
     def accepts_yes_instance(self, graph: LabelledGraph, ids: Optional[IdAssignment] = None) -> bool:
         """Completeness on one yes-instance: the prover's certificates convince the verifier."""

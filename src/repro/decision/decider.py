@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine.base import EngineLike, resolve_engine
 from ..errors import DecisionError
 from ..graphs.identifiers import (
     IdAssignment,
@@ -73,9 +74,10 @@ def decide_outcome(
     algorithm: LocalAlgorithm,
     graph: LabelledGraph,
     ids: Optional[IdAssignment] = None,
+    engine: EngineLike = None,
 ) -> DecisionOutcome:
     """Run a decision algorithm on one input and return the detailed outcome."""
-    outputs = _check_outputs(run_algorithm(algorithm, graph, ids))
+    outputs = _check_outputs(run_algorithm(algorithm, graph, ids, engine=engine))
     rejecting = tuple(v for v, out in outputs.items() if out == NO)
     return DecisionOutcome(accepted=not rejecting, outputs=outputs, rejecting_nodes=rejecting)
 
@@ -84,9 +86,10 @@ def decide(
     algorithm: LocalAlgorithm,
     graph: LabelledGraph,
     ids: Optional[IdAssignment] = None,
+    engine: EngineLike = None,
 ) -> bool:
     """Return ``True`` when the decider accepts the input (every node outputs ``yes``)."""
-    return decide_outcome(algorithm, graph, ids).accepted
+    return decide_outcome(algorithm, graph, ids, engine=engine).accepted
 
 
 # ---------------------------------------------------------------------- #
@@ -165,13 +168,15 @@ def assignments_for(
         adversarial = getattr(id_space, "adversarial", None)
         if include_adversarial and callable(adversarial):
             out.append(adversarial(graph))
-    # de-duplicate while keeping order
+    # De-duplicate while keeping order.  IdAssignment hashes by its
+    # (node, identifier) pairs and nodes are hashable by construction, so the
+    # assignment itself is the dedup key; keying on repr(node) would conflate
+    # distinct nodes whose reprs happen to collide.
     unique: List[IdAssignment] = []
     seen = set()
     for a in out:
-        key = tuple(sorted((repr(v), i) for v, i in a.items()))
-        if key not in seen:
-            seen.add(key)
+        if a not in seen:
+            seen.add(a)
             unique.append(a)
     return unique
 
@@ -185,6 +190,7 @@ def verify_decider(
     samples: int = 4,
     seed: int = 0,
     stop_at_first_failure: bool = False,
+    engine: EngineLike = None,
 ) -> VerificationReport:
     """Verify a decider against ground truth on a family of instances.
 
@@ -192,8 +198,15 @@ def verify_decider(
     and every identifier assignment produced by :func:`assignments_for`, the
     decider is run and its global accept/reject compared with the property's
     membership answer.
+
+    ``engine`` selects the execution backend for the whole sweep.  The
+    sweep re-runs each graph under many assignments, which is exactly the
+    access pattern the :class:`~repro.engine.cached.CachedEngine` batches:
+    balls are extracted once per graph and isomorphic views are evaluated
+    once, instead of once per (instance, assignment, node) triple.
     """
     family = family or InstanceFamily.from_property(prop)
+    engine = resolve_engine(engine)
     report = VerificationReport(algorithm_name=algorithm.name, family_name=family.name)
     for graph, expected in family.labelled_instances():
         report.instances_checked += 1
@@ -206,7 +219,7 @@ def verify_decider(
         )
         for ids in assignments:
             report.assignments_checked += 1
-            accepted = decide(algorithm, graph, ids)
+            accepted = decide(algorithm, graph, ids, engine=engine)
             if accepted != expected:
                 report.counter_examples.append(
                     CounterExample(graph=graph, ids=ids, expected=expected, accepted=accepted, family=family.name)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..engine.base import EngineLike, resolve_engine
 from ..graphs.identifiers import (
     IdAssignment,
     enumerate_assignments,
@@ -70,16 +71,18 @@ def _audit(
     graph: LabelledGraph,
     assignments: Sequence[IdAssignment],
     stop_at_first: bool,
+    engine: EngineLike = None,
 ) -> ObliviousnessAuditReport:
+    engine = resolve_engine(engine)
     report = ObliviousnessAuditReport(algorithm_name=algorithm.name, graph_nodes=graph.num_nodes())
     if not assignments:
         return report
     baseline_ids = assignments[0]
-    baseline = run_algorithm(algorithm, graph, baseline_ids)
+    baseline = run_algorithm(algorithm, graph, baseline_ids, engine=engine)
     report.assignments_tested = 1
     for ids in assignments[1:]:
         report.assignments_tested += 1
-        outputs = run_algorithm(algorithm, graph, ids)
+        outputs = run_algorithm(algorithm, graph, ids, engine=engine)
         for v in graph.nodes():
             if outputs[v] != baseline[v]:
                 report.violations.append(
@@ -97,6 +100,7 @@ def audit_id_obliviousness(
     graph: LabelledGraph,
     identifier_pool: Optional[Sequence[int]] = None,
     stop_at_first: bool = False,
+    engine: EngineLike = None,
 ) -> ObliviousnessAuditReport:
     """Audit whether an algorithm's outputs depend on the identifier assignment.
 
@@ -109,7 +113,7 @@ def audit_id_obliviousness(
     """
     pool = list(identifier_pool) if identifier_pool is not None else list(range(2 * graph.num_nodes()))
     assignments = list(enumerate_assignments(graph, pool))
-    return _audit(algorithm, graph, assignments, stop_at_first)
+    return _audit(algorithm, graph, assignments, stop_at_first, engine=engine)
 
 
 def audit_order_invariance(
@@ -117,9 +121,10 @@ def audit_order_invariance(
     graph: LabelledGraph,
     identifier_pool: Optional[Sequence[int]] = None,
     stop_at_first: bool = False,
+    engine: EngineLike = None,
 ) -> ObliviousnessAuditReport:
     """Audit whether outputs are stable under *order-preserving* identifier renamings (the OI model)."""
     pool = list(identifier_pool) if identifier_pool is not None else list(range(3 * graph.num_nodes()))
     base = sequential_assignment(graph)
     assignments = [base] + list(order_preserving_renamings(base, pool))
-    return _audit(algorithm, graph, assignments, stop_at_first)
+    return _audit(algorithm, graph, assignments, stop_at_first, engine=engine)

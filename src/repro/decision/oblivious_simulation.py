@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..engine.base import EngineLike, resolve_engine
 from ..errors import AlgorithmError
 from ..graphs.identifiers import IdAssignment, enumerate_injections
 from ..graphs.neighbourhood import Neighbourhood
@@ -54,6 +55,12 @@ class ObliviousSimulation(IdObliviousAlgorithm):
     max_search:
         Safety cap on the number of assignments tried per neighbourhood
         (the search is ``P(|pool|, |ball|)``-sized).
+    engine:
+        Execution backend used for the base decider's evaluations.  The
+        search re-evaluates ``A`` on the same id-labelled ball types over
+        and over across the nodes of a graph (and across graphs), so a
+        :class:`~repro.engine.cached.CachedEngine` here memoises the inner
+        loop of the simulation.  ``None`` keeps plain direct evaluation.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class ObliviousSimulation(IdObliviousAlgorithm):
         identifier_pool: Sequence[int],
         max_search: int = 2_000_000,
         name: Optional[str] = None,
+        engine: EngineLike = None,
     ) -> None:
         super().__init__(radius=base.radius, name=name or f"A*[{base.name}]")
         if len(set(identifier_pool)) != len(identifier_pool):
@@ -69,6 +77,7 @@ class ObliviousSimulation(IdObliviousAlgorithm):
         self.base = base
         self.identifier_pool = list(identifier_pool)
         self.max_search = max_search
+        self.engine = resolve_engine(engine)
 
     def evaluate(self, view: Neighbourhood) -> Verdict:
         """Output ``no`` iff some identifier assignment to the ball makes the base decider say ``no``."""
@@ -86,7 +95,7 @@ class ObliviousSimulation(IdObliviousAlgorithm):
                     f"oblivious simulation exceeded the search cap of {self.max_search} assignments; "
                     "shrink the identifier pool or the ball"
                 )
-            out = self.base.evaluate(view.with_ids(ids))
+            out = self.engine.evaluate_view(self.base, view.with_ids(ids))
             if out == NO:
                 return NO
             if out != YES:
@@ -100,6 +109,7 @@ def simulate_obliviously(
     base: LocalAlgorithm,
     identifier_pool: Sequence[int],
     max_search: int = 2_000_000,
+    engine: EngineLike = None,
 ) -> ObliviousSimulation:
     """Convenience constructor for :class:`ObliviousSimulation`."""
-    return ObliviousSimulation(base, identifier_pool, max_search=max_search)
+    return ObliviousSimulation(base, identifier_pool, max_search=max_search, engine=engine)

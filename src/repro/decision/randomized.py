@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..engine.base import EngineLike, resolve_engine
 from ..errors import DecisionError
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph
@@ -78,8 +79,9 @@ def _accepts_once(
     graph: LabelledGraph,
     ids: Optional[IdAssignment],
     seed: int,
+    engine: EngineLike = None,
 ) -> bool:
-    outputs = run_randomised_algorithm(algorithm, graph, ids=ids, seed=seed)
+    outputs = run_randomised_algorithm(algorithm, graph, ids=ids, seed=seed, engine=engine)
     for v, out in outputs.items():
         if not isinstance(out, Verdict):
             raise DecisionError(
@@ -94,12 +96,19 @@ def estimate_acceptance_probability(
     ids: Optional[IdAssignment] = None,
     trials: int = 200,
     seed: int = 0,
+    engine: EngineLike = None,
 ) -> AcceptanceEstimate:
-    """Estimate the probability that the randomised decider accepts ``(G, x, Id)``."""
+    """Estimate the probability that the randomised decider accepts ``(G, x, Id)``.
+
+    ``engine`` selects the execution backend; a caching backend reuses the
+    batched ball extraction across all ``trials`` repetitions (randomised
+    outputs themselves are never memoised).
+    """
+    engine = resolve_engine(engine)
     rng = random.Random(seed)
     accepts = 0
     for _ in range(trials):
-        if _accepts_once(algorithm, graph, ids, seed=rng.randrange(2**62)):
+        if _accepts_once(algorithm, graph, ids, seed=rng.randrange(2**62), engine=engine):
             accepts += 1
     return AcceptanceEstimate(instance_nodes=graph.num_nodes(), trials=trials, accepts=accepts)
 
@@ -153,8 +162,10 @@ def evaluate_pq_decider(
     trials: int = 200,
     seed: int = 0,
     ids_factory=None,
+    engine: EngineLike = None,
 ) -> PQDeciderReport:
     """Estimate whether a randomised decider meets the (p, q) targets on a family."""
+    engine = resolve_engine(engine)
     report = PQDeciderReport(
         algorithm_name=algorithm.name,
         family_name=family.name,
@@ -165,11 +176,11 @@ def evaluate_pq_decider(
     for graph in family.yes:
         ids = ids_factory(graph) if ids_factory else None
         report.yes_estimates.append(
-            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed)
+            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed, engine=engine)
         )
     for graph in family.no:
         ids = ids_factory(graph) if ids_factory else None
         report.no_estimates.append(
-            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed)
+            estimate_acceptance_probability(algorithm, graph, ids, trials=trials, seed=seed, engine=engine)
         )
     return report

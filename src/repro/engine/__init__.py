@@ -1,0 +1,42 @@
+"""Execution engines — the pluggable layer every execution path routes through.
+
+* :class:`~repro.engine.base.ExecutionEngine` — the protocol (views,
+  single-view evaluation, whole-graph drivers);
+* :class:`~repro.engine.direct.DirectEngine` — per-node ball evaluation,
+  the default backend and the paper's mathematical semantics;
+* :class:`~repro.engine.synchronous.SynchronousEngine` — views produced by
+  the full-information message-passing protocol;
+* :class:`~repro.engine.cached.CachedEngine` — the fast path: batched BFS
+  ball extraction per graph, canonical-key interning, and memoised
+  evaluation per ``(algorithm, view key)``.
+
+``engine=`` arguments across the package accept an instance, a backend name
+(``"direct"`` / ``"synchronous"`` / ``"cached"``) or ``None`` for the
+shared default; see :func:`~repro.engine.base.resolve_engine`.
+"""
+
+from .base import (
+    EngineLike,
+    EngineStats,
+    ExecutionEngine,
+    default_engine,
+    derive_node_seed,
+    resolve_engine,
+)
+from .cached import CachedEngine
+from .direct import DirectEngine
+from .store import LRUStore
+from .synchronous import SynchronousEngine
+
+__all__ = [
+    "EngineLike",
+    "EngineStats",
+    "ExecutionEngine",
+    "default_engine",
+    "derive_node_seed",
+    "resolve_engine",
+    "DirectEngine",
+    "SynchronousEngine",
+    "CachedEngine",
+    "LRUStore",
+]

@@ -240,22 +240,48 @@ def _refine_colours(view: Neighbourhood, use_ids: bool, rounds: int = 3) -> Dict
     return colours
 
 
+def _search_size(classes: Dict[str, List[Node]]) -> int:
+    """Number of orderings the canonical search would enumerate (product of class factorials)."""
+    total = 1
+    for cls in classes.values():
+        for k in range(2, len(cls) + 1):
+            total *= k
+        if total > 1_000_000:  # avoid huge exact arithmetic; caller only compares against a small cap
+            return total
+    return total
+
+
+#: When the base colours already cut the ordering search down to at most this
+#: many permutations, the (repr-heavy) iterative refinement is skipped: it
+#: could only shrink an already tiny search, and on the small balls that
+#: dominate verification sweeps it costs an order of magnitude more than the
+#: search itself.
+_REFINEMENT_THRESHOLD = 48
+
+
 def _canonical_key(view: Neighbourhood, use_ids: bool) -> Tuple:
     """Compute an exact canonical key of a centred, labelled (and optionally id-carrying) ball.
 
     The key is the lexicographically smallest encoding of the ball over all
-    orderings of its nodes that sort consistently with the refined colours.
-    Nodes with distinct refined colours never need to be permuted against
-    each other, so the search only permutes within colour classes; for the
-    graphs in this library those classes are small.
+    orderings of its nodes that sort consistently with the (possibly
+    refined) colours.  Nodes with distinct colours never need to be permuted
+    against each other, so the search only permutes within colour classes;
+    for the graphs in this library those classes are small.  Refinement is
+    only performed when the base colours leave the search too coarse, which
+    keeps the key computation cheap for the small balls that verification
+    sweeps and the caching engine churn through.
     """
     nodes = list(view.graph.nodes())
-    colours = _refine_colours(view, use_ids)
 
     # Group nodes into colour classes, ordered by colour representation.
     classes: Dict[str, List[Node]] = {}
     for v in nodes:
-        classes.setdefault(repr(colours[v]), []).append(v)
+        classes.setdefault(repr(_node_colour(view, v, use_ids)), []).append(v)
+    if _search_size(classes) > _REFINEMENT_THRESHOLD:
+        colours = _refine_colours(view, use_ids)
+        classes = {}
+        for v in nodes:
+            classes.setdefault(repr(colours[v]), []).append(v)
     ordered_class_keys = sorted(classes.keys())
 
     # Safety valve: if a colour class is huge, fall back to a coarse (but

@@ -18,7 +18,7 @@ from .algorithm import (
     RandomisedLocalAlgorithm,
     constant_algorithm,
 )
-from .runner import run_algorithm, run_algorithm_at, run_randomised_algorithm
+from .runner import derive_node_seed, run_algorithm, run_algorithm_at, run_randomised_algorithm
 from .simulator import Knowledge, SimulationStats, SynchronousSimulator, simulate_algorithm
 from .ports import EdgeOrientation, PortNumbering, attach_port_labels, canonical_port_numbering
 
@@ -36,6 +36,7 @@ __all__ = [
     "OrderInvariantAlgorithm",
     "RandomisedLocalAlgorithm",
     "constant_algorithm",
+    "derive_node_seed",
     "run_algorithm",
     "run_algorithm_at",
     "run_randomised_algorithm",

@@ -1,46 +1,38 @@
-"""Direct ball-evaluation runner for local algorithms.
+"""Runner facade: execute local algorithms through a pluggable engine.
 
 This is the "mathematical" execution model of the paper: the output of a
 local algorithm at node ``v`` is, by definition, a function of the
-restriction of the input to ``B(v, t)``.  The runner therefore simply
-extracts every node's radius-``t`` neighbourhood and applies the algorithm
-to it.
+restriction of the input to ``B(v, t)``.  The functions here keep that
+historical interface but route all execution through the
+:mod:`repro.engine` layer — ``engine=None`` resolves to the shared
+:class:`~repro.engine.direct.DirectEngine`, which extracts every node's
+radius-``t`` neighbourhood and applies the algorithm to it, exactly as this
+module always did.  Passing ``engine="cached"`` (or a
+:class:`~repro.engine.cached.CachedEngine` instance) switches the same call
+sites onto batched, memoised execution; ``engine="synchronous"`` runs the
+message-passing simulator of :mod:`repro.local_model.simulator` instead.
 
-A second, operational execution model — synchronous message passing, the
-"networked state machines" of Section 1.2 — lives in
-:mod:`repro.local_model.simulator`; the test-suite cross-checks that both
-give identical outputs.
+Per-node randomness for randomised algorithms is seeded stably from
+``(seed, node index)`` via :func:`repro.engine.derive_node_seed`; it does
+not depend on ``PYTHONHASHSEED`` or node reprs, so runs are reproducible
+across processes.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Hashable, Iterable, Optional
 
-from ..errors import AlgorithmError, IdentifierError
+from ..engine.base import EngineLike, derive_node_seed, resolve_engine
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
-from ..graphs.neighbourhood import Neighbourhood, extract_neighbourhood
-from .algorithm import IdObliviousAlgorithm, LocalAlgorithm, RandomisedLocalAlgorithm
+from .algorithm import LocalAlgorithm, RandomisedLocalAlgorithm
 
-__all__ = ["run_algorithm", "run_algorithm_at", "run_randomised_algorithm"]
-
-
-def _view_for(
-    algorithm: LocalAlgorithm,
-    graph: LabelledGraph,
-    node: Node,
-    ids: Optional[IdAssignment],
-) -> Neighbourhood:
-    """Extract the view the given algorithm is entitled to see at ``node``."""
-    if algorithm.uses_identifiers:
-        if ids is None:
-            raise IdentifierError(
-                f"algorithm {algorithm.name!r} runs in the full LOCAL model and needs an identifier assignment"
-            )
-        return extract_neighbourhood(graph, node, algorithm.radius, ids)
-    # Id-oblivious algorithms see the topology and labels only.
-    return extract_neighbourhood(graph, node, algorithm.radius, ids=None)
+__all__ = [
+    "run_algorithm",
+    "run_algorithm_at",
+    "run_randomised_algorithm",
+    "derive_node_seed",
+]
 
 
 def run_algorithm_at(
@@ -48,10 +40,10 @@ def run_algorithm_at(
     graph: LabelledGraph,
     node: Node,
     ids: Optional[IdAssignment] = None,
+    engine: EngineLike = None,
 ) -> Hashable:
     """Run a deterministic local algorithm at a single node and return its local output."""
-    view = _view_for(algorithm, graph, node, ids)
-    return algorithm.evaluate(view)
+    return resolve_engine(engine).run_at(algorithm, graph, node, ids)
 
 
 def run_algorithm(
@@ -59,6 +51,7 @@ def run_algorithm(
     graph: LabelledGraph,
     ids: Optional[IdAssignment] = None,
     nodes: Optional[Iterable[Node]] = None,
+    engine: EngineLike = None,
 ) -> Dict[Node, Hashable]:
     """Run a deterministic local algorithm at every node (or at ``nodes``).
 
@@ -66,8 +59,7 @@ def run_algorithm(
     global accept/reject semantics is applied by
     :func:`repro.decision.decider.decide`.
     """
-    chosen = list(nodes) if nodes is not None else list(graph.nodes())
-    return {v: run_algorithm_at(algorithm, graph, v, ids) for v in chosen}
+    return resolve_engine(engine).run(algorithm, graph, ids, nodes)
 
 
 def run_randomised_algorithm(
@@ -76,27 +68,13 @@ def run_randomised_algorithm(
     ids: Optional[IdAssignment] = None,
     seed: Optional[int] = None,
     nodes: Optional[Iterable[Node]] = None,
+    engine: EngineLike = None,
 ) -> Dict[Node, Hashable]:
     """Run a randomised local algorithm once, with independent per-node randomness.
 
-    Each node gets its own :class:`random.Random` stream derived from
-    ``seed`` and the node's position, modelling the paper's "unbounded string
-    of random bits" per node.  Identifiers are passed through only when the
+    Each node gets its own :class:`random.Random` stream derived stably from
+    ``(seed, node index)``, modelling the paper's "unbounded string of
+    random bits" per node.  Identifiers are passed through only when the
     algorithm declares it uses them.
     """
-    chosen = list(nodes) if nodes is not None else list(graph.nodes())
-    master = random.Random(seed)
-    outputs: Dict[Node, Hashable] = {}
-    for index, v in enumerate(chosen):
-        node_seed = master.randrange(2**63) ^ hash((index, repr(v))) & 0x7FFFFFFFFFFFFFFF
-        node_rng = random.Random(node_seed)
-        if algorithm.uses_identifiers:
-            if ids is None:
-                raise IdentifierError(
-                    f"randomised algorithm {algorithm.name!r} needs an identifier assignment"
-                )
-            view = extract_neighbourhood(graph, v, algorithm.radius, ids)
-        else:
-            view = extract_neighbourhood(graph, v, algorithm.radius, ids=None)
-        outputs[v] = algorithm.evaluate(view, node_rng)
-    return outputs
+    return resolve_engine(engine).run_randomised(algorithm, graph, ids, seed, nodes)

@@ -24,13 +24,16 @@ of local decision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..errors import AlgorithmError, IdentifierError
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Label, Node
 from ..graphs.neighbourhood import Neighbourhood
 from .algorithm import LocalAlgorithm
+
+if TYPE_CHECKING:  # type-only; engine imports this module at runtime
+    from ..engine.base import EngineLike
 
 __all__ = ["Knowledge", "SimulationStats", "SynchronousSimulator", "simulate_algorithm"]
 
@@ -153,6 +156,18 @@ class SynchronousSimulator:
             else:
                 return r
 
+    def local_views(
+        self, radius: int, nodes: Optional[Iterable[Node]] = None
+    ) -> Dict[Node, Neighbourhood]:
+        """Reconstruct the radius-``radius`` view of every node (or of ``nodes``).
+
+        This is the batch form of :meth:`local_view`, used by
+        :class:`~repro.engine.synchronous.SynchronousEngine` to produce all
+        views of a run at once.
+        """
+        chosen = list(nodes) if nodes is not None else list(self.graph.nodes())
+        return {v: self.local_view(v, radius) for v in chosen}
+
     def local_view(self, v: Node, radius: int) -> Neighbourhood:
         """Reconstruct the radius-``radius`` view of ``v`` from its current knowledge.
 
@@ -194,16 +209,23 @@ def simulate_algorithm(
     graph: LabelledGraph,
     ids: Optional[IdAssignment] = None,
     extra_rounds: int = 1,
+    nodes: Optional[Iterable[Node]] = None,
+    engine: "EngineLike" = None,
 ) -> Tuple[Dict[Node, Hashable], SimulationStats]:
     """Run a local algorithm through the message-passing simulator.
 
     The simulator executes ``algorithm.radius + extra_rounds`` rounds (the
     ``+1`` default covers the edge facts on the ball boundary, matching the
     paper's "t ± 1 rounds" equivalence), reconstructs each node's
-    radius-``t`` view and applies the algorithm to it.
+    radius-``t`` view and applies the algorithm to it.  When an ``engine``
+    is given, per-view evaluation is delegated to it, so a
+    :class:`~repro.engine.cached.CachedEngine` memoises outputs across
+    isomorphic views even under this execution model.
 
     Returns the per-node outputs and the communication statistics.
     """
+    from ..engine.base import resolve_engine
+
     ids_for_run = ids if algorithm.uses_identifiers else None
     if algorithm.uses_identifiers and ids is None:
         raise IdentifierError(
@@ -211,8 +233,9 @@ def simulate_algorithm(
         )
     sim = SynchronousSimulator(graph, ids_for_run)
     sim.run_rounds(algorithm.radius + extra_rounds)
-    outputs: Dict[Node, Hashable] = {}
-    for v in graph.nodes():
-        view = sim.local_view(v, algorithm.radius)
-        outputs[v] = algorithm.evaluate(view)
+    evaluator = resolve_engine(engine)
+    outputs: Dict[Node, Hashable] = {
+        v: evaluator.evaluate_view(algorithm, view)
+        for v, view in sim.local_views(algorithm.radius, nodes).items()
+    }
     return outputs, sim.stats

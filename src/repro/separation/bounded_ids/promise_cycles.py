@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from ...decision.classes import ImpossibilityCertificate
+from ...engine.base import EngineLike
 from ...decision.property import InstanceFamily, PromiseProperty
 from ...errors import ConstructionError
 from ...graphs.generators import cycle_graph
@@ -144,7 +145,7 @@ class IdThresholdCycleDecider(LocalAlgorithm):
 
 
 def indistinguishability_certificate(
-    problem: CyclePromiseProblem, r: int, horizon: int
+    problem: CyclePromiseProblem, r: int, horizon: int, engine: "EngineLike" = None
 ) -> ImpossibilityCertificate:
     """Certificate that the ``f(r)``-cycle is locally covered by the ``r``-cycle at the given horizon.
 
@@ -158,4 +159,5 @@ def indistinguishability_certificate(
         fooling_instance=problem.no_instance(r),
         covering_yes_instances=[problem.yes_instance(r)],
         notes=f"r={r}, f(r)={problem.bound_fn(r)}, horizon={horizon}",
+        engine=engine,
     )

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ...analysis.coverage import build_impossibility_certificate
 from ...decision.classes import ImpossibilityCertificate
+from ...engine.base import EngineLike, resolve_engine
 from ...decision.property import InstanceFamily, Property
 from ...errors import ConstructionError
 from ...graphs.identifiers import default_bound
@@ -355,13 +356,17 @@ class BoundedIdsLDDecider(LocalAlgorithm):
         bound_fn: Callable[[int], int] = default_bound,
         root_widths: Sequence[int] = (1, 2),
         tree_depth_override: Optional[Callable[[int], int]] = None,
+        engine: EngineLike = None,
     ) -> None:
         super().__init__(radius=1, name="sec2-ld-decider")
         self.bound_fn = bound_fn
         self.verifier = StructureVerifier(bound_fn, root_widths, tree_depth_override)
+        # Stage 1 is Id-oblivious, so a caching engine memoises it per ball
+        # type across nodes and identifier assignments.
+        self.engine = resolve_engine(engine)
 
     def evaluate(self, view: Neighbourhood) -> Verdict:
-        if self.verifier.evaluate(view.without_ids()) == NO:
+        if self.engine.evaluate_view(self.verifier, view.without_ids()) == NO:
             return NO
         label = view.center_label()
         r = label[0]
@@ -380,6 +385,7 @@ def section2_impossibility_certificate(
     horizon: int,
     tree_depth: int,
     bound_fn: Callable[[int], int] = default_bound,
+    engine: EngineLike = None,
 ) -> ImpossibilityCertificate:
     """Coverage certificate: every radius-``horizon`` view of the depth-``tree_depth`` tree occurs in a small instance.
 
@@ -395,6 +401,7 @@ def section2_impossibility_certificate(
         fooling_instance=large,
         covering_yes_instances=covering,
         notes=f"r={r}, horizon={horizon}, tree_depth={tree_depth}, R(r)={bound_R(r, bound_fn)}",
+        engine=engine,
     )
 
 

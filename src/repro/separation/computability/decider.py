@@ -19,6 +19,7 @@ simulation in stage 2 and discovers ``M``'s true output.
 
 from __future__ import annotations
 
+from ...engine.base import EngineLike, resolve_engine
 from ...graphs.neighbourhood import Neighbourhood
 from ...local_model.algorithm import LocalAlgorithm
 from ...local_model.outputs import NO, YES, Verdict
@@ -30,16 +31,29 @@ __all__ = ["ComputabilityLDDecider"]
 
 
 class ComputabilityLDDecider(LocalAlgorithm):
-    """Two-stage LD decider for ``P = {G(M, r) : M outputs 0}``."""
+    """Two-stage LD decider for ``P = {G(M, r) : M outputs 0}``.
 
-    def __init__(self, radius: int = 2, max_simulation_steps: int = 1_000_000) -> None:
+    ``engine`` selects the backend for the stage-1 structure check; the
+    check is Id-oblivious, so a :class:`~repro.engine.cached.CachedEngine`
+    memoises it per ball type across nodes, identifier assignments and
+    instances, while stage 2 (which reads the node's own identifier) always
+    runs directly.
+    """
+
+    def __init__(
+        self,
+        radius: int = 2,
+        max_simulation_steps: int = 1_000_000,
+        engine: EngineLike = None,
+    ) -> None:
         super().__init__(radius=radius, name="sec3-ld-decider")
         self.checker = ExecutionGraphChecker(radius=radius)
         self.max_simulation_steps = max_simulation_steps
+        self.engine = resolve_engine(engine)
 
     def evaluate(self, view: Neighbourhood) -> Verdict:
         # Stage 1: Id-oblivious structure check.
-        if self.checker.evaluate(view.without_ids()) == NO:
+        if self.engine.evaluate_view(self.checker, view.without_ids()) == NO:
             return NO
         # Stage 2: simulate M for Id(v) steps.
         parsed = parse_cell_label(view.center_label())

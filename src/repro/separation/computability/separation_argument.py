@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ...engine.base import EngineLike, resolve_engine
 from ...graphs.neighbourhood import Neighbourhood
 from ...local_model.algorithm import FunctionIdObliviousAlgorithm, IdObliviousAlgorithm
 from ...local_model.outputs import NO, YES, Verdict
@@ -47,12 +48,19 @@ def separation_algorithm(
     r: Optional[int] = None,
     fragment_side: Optional[int] = None,
     max_fragments: Optional[int] = 50_000,
+    engine: EngineLike = None,
 ) -> bool:
     """The algorithm ``R``: accept ``machine`` iff ``candidate`` accepts every neighbourhood in ``B(machine, t)``.
 
     ``t`` is the candidate's local horizon; ``r`` defaults to it.  The call
     always terminates, for halting and non-halting machines alike.
+
+    ``engine`` selects the backend for the candidate's evaluations; the
+    generated set ``B(N, t)`` is dominated by isomorphic fragment windows,
+    so a :class:`~repro.engine.cached.CachedEngine` evaluates each distinct
+    window type once instead of once per fragment.
     """
+    evaluator = resolve_engine(engine)
     horizon = candidate.radius
     r = r if r is not None else max(horizon, 1)
     views = neighbourhood_generator(
@@ -61,7 +69,7 @@ def separation_algorithm(
     for view in views:
         # The candidate's horizon may be smaller than r; re-extract its view.
         sub = view if horizon >= view.radius else _shrink(view, horizon)
-        if candidate.evaluate(sub) == NO:
+        if evaluator.evaluate_view(candidate, sub) == NO:
             return False
     return True
 
@@ -156,15 +164,17 @@ def run_separation_experiment(
     fragment_side: Optional[int] = None,
     fuel: int = 5_000,
     max_fragments: Optional[int] = 50_000,
+    engine: EngineLike = None,
 ) -> SeparationExperiment:
     """Run the separation algorithm ``R`` for every candidate against every machine."""
+    engine = resolve_engine(engine)
     experiment = SeparationExperiment()
     for machine in machines:
         run = machine.run(fuel, keep_history=False)
         output = run.output if run.halted else None
         for candidate in candidates:
             accepted = separation_algorithm(
-                candidate, machine, r=r, fragment_side=fragment_side, max_fragments=max_fragments
+                candidate, machine, r=r, fragment_side=fragment_side, max_fragments=max_fragments, engine=engine
             )
             experiment.trials.append(
                 SeparationTrial(
