@@ -1,0 +1,81 @@
+"""Benchmark-regression gate for the engine speedup record.
+
+Compares a freshly measured ``BENCH_engines.json`` against the committed
+baseline and fails (exit 1) when the CachedEngine speedup over the direct
+backend drops below the acceptance floor.  CI runs this after re-running
+``benchmarks/test_bench_engines.py``::
+
+    cp benchmarks/BENCH_engines.json /tmp/baseline.json        # committed record
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_engines.py -q
+    python benchmarks/check_regression.py /tmp/baseline.json benchmarks/BENCH_engines.json
+
+The floor (default 3x) matches the assertion inside the benchmark itself;
+the gate exists so the comparison against the committed trajectory is an
+explicit, artifact-producing CI step rather than a side effect of the test
+run, and so ``--max-drop`` can additionally flag large relative regressions
+against the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SPEEDUP_KEY = "speedup_direct_over_cached"
+
+
+def load_speedup(path: Path) -> float:
+    payload = json.loads(path.read_text())
+    try:
+        return float(payload[SPEEDUP_KEY])
+    except KeyError:
+        raise SystemExit(f"{path}: missing {SPEEDUP_KEY!r} key") from None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_engines.json")
+    parser.add_argument("fresh", type=Path, help="freshly measured BENCH_engines.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="hard floor on the fresh CachedEngine speedup (default: 3.0)",
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="optionally also fail when the fresh speedup drops more than this "
+        "fraction below the baseline (e.g. 0.5 = fresh must be >= half the baseline)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_speedup(args.baseline)
+    fresh = load_speedup(args.fresh)
+    ratio = fresh / baseline if baseline > 0 else float("inf")
+    print(
+        f"CachedEngine speedup: baseline {baseline:.2f}x, fresh {fresh:.2f}x "
+        f"({ratio:.2f}x of baseline); floor {args.min_speedup:.2f}x"
+    )
+
+    failed = False
+    if fresh < args.min_speedup:
+        print(f"FAIL: fresh speedup {fresh:.2f}x is below the {args.min_speedup:.2f}x floor")
+        failed = True
+    if args.max_drop is not None and fresh < baseline * (1.0 - args.max_drop):
+        print(
+            f"FAIL: fresh speedup {fresh:.2f}x dropped more than "
+            f"{args.max_drop:.0%} below the baseline {baseline:.2f}x"
+        )
+        failed = True
+    if not failed:
+        print("OK: no benchmark regression")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

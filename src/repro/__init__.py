@@ -8,8 +8,13 @@ The package is organised as follows:
   randomised), the ball-evaluation runner and the synchronous
   message-passing simulator, port numberings;
 * :mod:`repro.engine` — pluggable execution backends (direct ball
-  evaluation, synchronous message passing, batched+memoised caching) that
-  every execution path routes through via ``engine=`` arguments;
+  evaluation, synchronous message passing, batched+memoised caching,
+  multiprocess parallel sharding) that every execution path routes through
+  via ``engine=`` arguments;
+* :mod:`repro.campaign` — declarative experiment campaigns: scenario specs
+  over the paper's constructions, a runner collecting verdicts / timings /
+  engine statistics into JSON reports, and the ``python -m repro.campaign``
+  CLI;
 * :mod:`repro.decision` — labelled graph properties, decision semantics,
   classes LD / LD* / NLD / BPLD, the generic Id-oblivious simulation ``A*``,
   randomised (p, q)-deciders;
@@ -25,11 +30,18 @@ The package is organised as follows:
 
 from . import decision, engine, graphs, local_model
 from .decision import Property, decide
-from .engine import CachedEngine, DirectEngine, ExecutionEngine, SynchronousEngine, resolve_engine
+from .engine import (
+    CachedEngine,
+    DirectEngine,
+    ExecutionEngine,
+    ParallelEngine,
+    SynchronousEngine,
+    resolve_engine,
+)
 from .graphs import IdAssignment, LabelledGraph
 from .local_model import NO, YES, Verdict
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "graphs",
@@ -40,6 +52,7 @@ __all__ = [
     "DirectEngine",
     "SynchronousEngine",
     "CachedEngine",
+    "ParallelEngine",
     "resolve_engine",
     "LabelledGraph",
     "IdAssignment",

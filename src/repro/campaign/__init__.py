@@ -1,0 +1,37 @@
+"""Experiment campaigns: declarative scenario sweeps over the paper's constructions.
+
+The campaign subsystem turns the reproduction's validation workloads into a
+declarative grid — graph family x size ladder x property x decider class x
+execution engine — and runs whole grids in one go:
+
+* :mod:`repro.campaign.spec` — :class:`ScenarioSpec` (the declarative
+  cell), :class:`ScenarioWorkload`, :class:`ScenarioResult` and
+  :class:`CampaignReport`;
+* :mod:`repro.campaign.scenarios` — the bundled scenarios drawn from the
+  paper's Sections 2-3 (promise cycles, layered-tree property P, the
+  structure verifier, the halting promise, a defeated Id-oblivious
+  candidate, Corollary 1's randomised decider) plus classic properties;
+* :mod:`repro.campaign.runner` — executes specs on any execution engine
+  (including the :class:`~repro.engine.parallel.ParallelEngine`) and
+  collects verdicts / timings / engine statistics into JSON reports under
+  ``benchmarks/``;
+* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` command.
+"""
+
+from .runner import DEFAULT_REPORT_PATH, run_campaign, run_scenario, write_report
+from .scenarios import bundled_scenarios, get_scenario, scenario_names
+from .spec import CampaignReport, ScenarioResult, ScenarioSpec, ScenarioWorkload
+
+__all__ = [
+    "DEFAULT_REPORT_PATH",
+    "run_campaign",
+    "run_scenario",
+    "write_report",
+    "bundled_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "CampaignReport",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioWorkload",
+]

@@ -1,0 +1,117 @@
+"""``python -m repro.campaign`` — run experiment campaigns from the command line.
+
+Examples
+--------
+
+List the bundled scenarios::
+
+    PYTHONPATH=src python -m repro.campaign --list
+
+Run the whole bundle on the caching backend and write the JSON report::
+
+    PYTHONPATH=src python -m repro.campaign
+
+Run two scenarios on a 2-worker parallel engine, quickly::
+
+    PYTHONPATH=src python -m repro.campaign classic-cycles-vs-paths \\
+        sec2-promise-cycles --engine parallel --workers 2 --quick \\
+        --output benchmarks/BENCH_campaign_smoke.json
+
+The process exits non-zero when any scenario misbehaves (a decider that
+should verify does not, or an expected failure fails to appear), so CI can
+gate on campaign runs directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from .runner import DEFAULT_REPORT_PATH, run_campaign, write_report
+from .scenarios import bundled_scenarios, scenario_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run verification/estimation campaigns over the paper's scenarios.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help=f"scenario names to run (default: all). Known: {', '.join(scenario_names())}",
+    )
+    parser.add_argument("--list", action="store_true", help="list bundled scenarios and exit")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["direct", "synchronous", "cached", "parallel"],
+        help="execution backend override (default: each scenario's declared backend)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --engine parallel (default: CPU count)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller size ladders and fewer Monte-Carlo trials"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=f"where to write the JSON report (default: {DEFAULT_REPORT_PATH})",
+    )
+    parser.add_argument(
+        "--no-report", action="store_true", help="skip writing the JSON report file"
+    )
+    return parser
+
+
+def _list_scenarios() -> str:
+    rows = [spec.as_row() for spec in bundled_scenarios()]
+    return format_table(
+        ["name", "section", "kind", "engine", "sizes", "title"],
+        rows,
+        title=f"bundled campaign scenarios ({len(rows)})",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(_list_scenarios())
+        return 0
+    names: List[str] = args.scenarios or scenario_names()
+    unknown = sorted(set(names) - set(scenario_names()))
+    if unknown:
+        parser.error(f"unknown scenario(s) {unknown}; see --list")
+    if args.workers is not None and args.engine != "parallel":
+        parser.error("--workers requires --engine parallel")
+    report = run_campaign(
+        names, engine=args.engine, workers=args.workers, quick=args.quick
+    )
+    print(report.summary_table())
+    for result in report.results:
+        first = result.details.get("first_counterexample")
+        if first:
+            print(
+                f"  {result.name}: first counter-example {first['kind']} on "
+                f"n={first['num_nodes']} under assignment {first['assignment']}"
+            )
+    if not args.no_report:
+        path = write_report(report, args.output)
+        print(f"report written to {path}")
+    print(f"campaign {'OK' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Campaign runner: execute scenario specs and collect JSON reports.
+
+The runner materialises each :class:`~repro.campaign.spec.ScenarioSpec`,
+executes it through the selected execution engine (a fresh engine per
+scenario so statistics are attributable), and assembles a
+:class:`~repro.campaign.spec.CampaignReport` with per-scenario verdicts,
+wall-clock timings and :class:`~repro.engine.base.EngineStats` counters.
+Reports are written as JSON under ``benchmarks/`` by default, next to the
+engine benchmark records, so the performance and correctness trajectory of
+the reproduction is tracked across PRs by the same CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from ..decision.decider import verify_decider
+from ..decision.randomized import evaluate_pq_decider
+from ..engine.base import EngineLike, ExecutionEngine, resolve_engine
+from ..engine.parallel import ParallelEngine
+from .scenarios import bundled_scenarios, get_scenario
+from .spec import CampaignReport, ScenarioResult, ScenarioSpec
+
+__all__ = ["run_scenario", "run_campaign", "write_report", "DEFAULT_REPORT_PATH"]
+
+#: Default location of campaign reports, next to the benchmark records.
+DEFAULT_REPORT_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_campaign.json"
+
+
+def _engine_for(spec: ScenarioSpec, engine: EngineLike, workers: Optional[int]) -> ExecutionEngine:
+    """Resolve the engine one scenario runs on.
+
+    ``engine=None`` uses the spec's declared backend; a string overrides it
+    for the whole campaign; an instance is shared as-is.  ``workers`` is
+    only meaningful for the parallel backend — passing it with any other
+    backend is an error rather than a silent no-op.
+    """
+    if engine is None:
+        engine = spec.engine
+    if isinstance(engine, str) and engine == "parallel" and workers is not None:
+        return ParallelEngine(workers=workers)
+    if workers is not None:
+        raise ValueError(
+            f"workers={workers} only applies to the 'parallel' backend, "
+            f"not {engine if isinstance(engine, str) else type(engine).__name__!r}"
+        )
+    return resolve_engine(engine)
+
+
+def run_scenario(
+    spec_or_name: Union[ScenarioSpec, str],
+    engine: EngineLike = None,
+    workers: Optional[int] = None,
+    quick: bool = False,
+) -> ScenarioResult:
+    """Execute one scenario and return its result record."""
+    spec = get_scenario(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    eng = _engine_for(spec, engine, workers)
+    eng.reset_stats()
+    sizes = spec.ladder(quick)
+    workload = spec.build(spec, sizes)
+    start = time.perf_counter()
+    if spec.kind == "verify":
+        report = verify_decider(
+            workload.decider,
+            workload.prop,
+            family=workload.family,
+            id_space=workload.id_space,
+            samples=spec.samples,
+            assignments_factory=workload.assignments_factory,
+            engine=eng,
+        )
+        seconds = time.perf_counter() - start
+        observed = report.correct
+        instances = report.instances_checked
+        sweeps = report.assignments_checked
+        summary = report.summary()
+        details = report.as_dict()
+    elif spec.kind == "estimate":
+        trials = spec.trial_count(quick)
+        report = evaluate_pq_decider(
+            workload.decider,
+            workload.family,
+            p=workload.target_p,
+            q=workload.target_q,
+            trials=trials,
+            seed=0,
+            ids_factory=workload.ids_factory,
+            engine=eng,
+        )
+        seconds = time.perf_counter() - start
+        observed = report.satisfied
+        instances = len(workload.family)
+        sweeps = trials * instances
+        summary = report.summary()
+        details = {
+            "target_p": workload.target_p,
+            "target_q": workload.target_q,
+            "trials_per_instance": trials,
+            "worst_yes_acceptance": report.worst_yes_acceptance,
+            "worst_no_rejection": report.worst_no_rejection,
+        }
+    else:
+        raise ValueError(f"unknown scenario kind {spec.kind!r} in {spec.name!r}")
+    return ScenarioResult(
+        name=spec.name,
+        section=spec.section,
+        kind=spec.kind,
+        engine=getattr(eng, "name", str(eng)),
+        seconds=seconds,
+        observed_correct=observed,
+        expected_correct=spec.expect_correct,
+        instances=instances,
+        sweeps=sweeps,
+        summary=summary,
+        engine_stats=eng.stats.as_dict(),
+        details=details,
+    )
+
+
+def run_campaign(
+    scenarios: Optional[Sequence[Union[ScenarioSpec, str]]] = None,
+    engine: EngineLike = None,
+    workers: Optional[int] = None,
+    quick: bool = False,
+    name: str = "podc13-reproduction",
+) -> CampaignReport:
+    """Execute a list of scenarios (default: the whole bundle) into one report."""
+    chosen: List[ScenarioSpec] = [
+        get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
+    ]
+    engine_label = engine if isinstance(engine, str) else (
+        getattr(engine, "name", "per-scenario") if engine is not None else "per-scenario"
+    )
+    report = CampaignReport(name=name, engine=str(engine_label), quick=quick)
+    for spec in chosen:
+        report.results.append(run_scenario(spec, engine=engine, workers=workers, quick=quick))
+    return report
+
+
+def write_report(report: CampaignReport, path: Union[str, Path, None] = None) -> Path:
+    """Serialise a campaign report to JSON and return the path written."""
+    path = Path(path) if path is not None else DEFAULT_REPORT_PATH
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = report.as_dict()
+    payload["python"] = sys.version.split()[0]
+    payload["recorded_at_unix"] = int(time.time())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

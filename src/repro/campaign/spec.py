@@ -1,0 +1,190 @@
+"""Declarative campaign scenario specs and their result records.
+
+A *scenario* is one cell of the experiment grid the paper's claims are
+validated on: a graph family x a size ladder x a property x a decider class
+x an execution engine.  :class:`ScenarioSpec` describes that cell
+declaratively (the axes are plain data; only the workload construction is a
+callable), :class:`ScenarioWorkload` is the materialised cell, and
+:class:`ScenarioResult` / :class:`CampaignReport` are the JSON-ready
+records the campaign runner produces.
+
+Two scenario kinds exist, matching the paper's two validation modes:
+
+* ``"verify"`` — exhaustive/sampled verification of a deterministic
+  decider over identifier assignments
+  (:func:`~repro.decision.decider.verify_decider`); the result records the
+  verification verdict and, on failure, the first counter-example
+  assignment;
+* ``"estimate"`` — Monte-Carlo estimation of a randomised decider's
+  acceptance statistics against ``(p, q)`` targets
+  (:func:`~repro.decision.randomized.evaluate_pq_decider`).
+
+Scenarios may *expect* failure (``expect_correct=False``): the separation
+arguments are demonstrated precisely by candidate Id-oblivious deciders
+being defeated, and the counter-example that defeats them is part of the
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..decision.property import InstanceFamily, Property
+from ..graphs.identifiers import IdAssignment, IdentifierSpace
+from ..graphs.labelled_graph import LabelledGraph
+
+__all__ = ["ScenarioSpec", "ScenarioWorkload", "ScenarioResult", "CampaignReport"]
+
+
+@dataclass
+class ScenarioWorkload:
+    """A materialised scenario: concrete instances, decider and verification setup."""
+
+    family: InstanceFamily
+    decider: Any
+    prop: Optional[Property] = None
+    #: identifier space for ``assignments_for`` (verify scenarios)
+    id_space: Optional[IdentifierSpace] = None
+    #: bespoke legal-assignment generator overriding ``assignments_for``
+    assignments_factory: Optional[Callable[[LabelledGraph], Sequence[IdAssignment]]] = None
+    #: per-instance identifier factory (estimate scenarios)
+    ids_factory: Optional[Callable[[LabelledGraph], IdAssignment]] = None
+    #: (p, q) targets (estimate scenarios)
+    target_p: float = 1.0
+    target_q: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative cell of the campaign grid.
+
+    ``build(spec, sizes)`` materialises the workload for a given size
+    ladder; every other axis is plain data, so ``--list`` can render the
+    whole grid without constructing any graphs.
+    """
+
+    name: str
+    title: str
+    section: str  # the paper section (or "classic") the scenario draws on
+    kind: str  # "verify" | "estimate"
+    graph_family: str  # human-readable family axis
+    property_name: str
+    decider_name: str
+    build: Callable[["ScenarioSpec", Tuple[int, ...]], ScenarioWorkload]
+    sizes: Tuple[int, ...] = ()
+    quick_sizes: Tuple[int, ...] = ()
+    samples: int = 4  # id assignments per instance (verify)
+    trials: int = 40  # Monte-Carlo trials per instance (estimate)
+    quick_trials: int = 8
+    engine: str = "cached"  # default backend when the runner gets no override
+    expect_correct: bool = True
+    description: str = ""
+
+    def ladder(self, quick: bool) -> Tuple[int, ...]:
+        """The size ladder to run: the quick one (when set) under ``--quick``."""
+        if quick and self.quick_sizes:
+            return self.quick_sizes
+        return self.sizes
+
+    def trial_count(self, quick: bool) -> int:
+        """Monte-Carlo trials per instance, reduced under ``--quick``."""
+        return min(self.trials, self.quick_trials) if quick else self.trials
+
+    def as_row(self) -> List[str]:
+        """The ``--list`` table row."""
+        return [
+            self.name,
+            self.section,
+            self.kind,
+            self.engine,
+            "x".join(str(s) for s in self.sizes) or "-",
+            self.title,
+        ]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of running one scenario: verdicts, timings and engine statistics."""
+
+    name: str
+    section: str
+    kind: str
+    engine: str
+    seconds: float
+    observed_correct: bool
+    expected_correct: bool
+    instances: int
+    sweeps: int  # id-assignments checked (verify) / total trials (estimate)
+    summary: str
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the scenario behaved as the paper predicts."""
+        return self.observed_correct == self.expected_correct
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "section": self.section,
+            "kind": self.kind,
+            "engine": self.engine,
+            "seconds": round(self.seconds, 6),
+            "ok": self.ok,
+            "observed_correct": self.observed_correct,
+            "expected_correct": self.expected_correct,
+            "instances": self.instances,
+            "sweeps": self.sweeps,
+            "summary": self.summary,
+            "engine_stats": dict(self.engine_stats),
+            "details": self.details,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of a campaign run, JSON-serialisable."""
+
+    name: str
+    engine: str
+    quick: bool
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when every scenario behaved as expected."""
+        return all(r.ok for r in self.results)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.name,
+            "engine": self.engine,
+            "quick": self.quick,
+            "ok": self.ok,
+            "scenarios": [r.as_dict() for r in self.results],
+        }
+
+    def summary_table(self) -> str:
+        """Aligned text table of all scenario outcomes."""
+        from ..analysis.reporting import format_table
+
+        rows = [
+            [
+                r.name,
+                r.kind,
+                r.engine,
+                f"{r.seconds:.3f}s",
+                r.instances,
+                r.sweeps,
+                "ok" if r.ok else "UNEXPECTED",
+                r.summary,
+            ]
+            for r in self.results
+        ]
+        return format_table(
+            ["scenario", "kind", "engine", "time", "instances", "sweeps", "status", "summary"],
+            rows,
+            title=f"campaign {self.name!r} ({'quick' if self.quick else 'full'})",
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine.base import EngineLike, resolve_engine
 from ..errors import DecisionError
@@ -70,6 +70,12 @@ def _check_outputs(outputs: Dict[Node, Hashable]) -> Dict[Node, Verdict]:
     return clean
 
 
+def _outcome_from_outputs(outputs: Dict[Node, Hashable]) -> DecisionOutcome:
+    clean = _check_outputs(outputs)
+    rejecting = tuple(v for v, out in clean.items() if out == NO)
+    return DecisionOutcome(accepted=not rejecting, outputs=clean, rejecting_nodes=rejecting)
+
+
 def decide_outcome(
     algorithm: LocalAlgorithm,
     graph: LabelledGraph,
@@ -77,9 +83,7 @@ def decide_outcome(
     engine: EngineLike = None,
 ) -> DecisionOutcome:
     """Run a decision algorithm on one input and return the detailed outcome."""
-    outputs = _check_outputs(run_algorithm(algorithm, graph, ids, engine=engine))
-    rejecting = tuple(v for v, out in outputs.items() if out == NO)
-    return DecisionOutcome(accepted=not rejecting, outputs=outputs, rejecting_nodes=rejecting)
+    return _outcome_from_outputs(run_algorithm(algorithm, graph, ids, engine=engine))
 
 
 def decide(
@@ -99,17 +103,47 @@ def decide(
 
 @dataclass
 class CounterExample:
-    """A single observed failure of a decider."""
+    """A single observed failure of a decider.
+
+    Beyond the failing ``(graph, ids)`` pair, the counter-example records
+    which nodes rejected, so reports can cite the concrete assignment (and
+    local outputs) that witnesses the failure instead of only a boolean.
+    """
 
     graph: LabelledGraph
     ids: Optional[IdAssignment]
     expected: bool
     accepted: bool
     family: str = ""
+    rejecting_nodes: Tuple[Node, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        """``"false-reject"`` or ``"false-accept"``."""
+        return "false-reject" if self.expected else "false-accept"
+
+    def describe(self) -> str:
+        """Human-readable one-liner citing the witnessing identifier assignment."""
+        ids = "no ids" if self.ids is None else repr(self.ids)
+        rejecting = (
+            f", rejecting nodes {list(self.rejecting_nodes)[:4]!r}" if self.rejecting_nodes else ""
+        )
+        return f"{self.kind} on n={self.graph.num_nodes()} ({self.family}) under {ids}{rejecting}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready record of the failure, assignment included."""
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "num_nodes": self.graph.num_nodes(),
+            "expected": self.expected,
+            "accepted": self.accepted,
+            "assignment": None if self.ids is None else {str(v): i for v, i in self.ids.items()},
+            "rejecting_nodes": [str(v) for v in self.rejecting_nodes],
+        }
 
     def __repr__(self) -> str:
-        kind = "false-reject" if self.expected else "false-accept"
-        return f"CounterExample({kind}, n={self.graph.num_nodes()}, family={self.family!r})"
+        return f"CounterExample({self.kind}, n={self.graph.num_nodes()}, family={self.family!r})"
 
 
 @dataclass
@@ -127,13 +161,34 @@ class VerificationReport:
         """``True`` when no counter-example was found."""
         return not self.counter_examples
 
+    @property
+    def first_counterexample(self) -> Optional[CounterExample]:
+        """The first observed failure (with its identifier assignment), or ``None``."""
+        return self.counter_examples[0] if self.counter_examples else None
+
     def summary(self) -> str:
-        """One-line human-readable summary."""
+        """One-line human-readable summary, citing the first counter-example on failure."""
         status = "OK" if self.correct else f"FAILED ({len(self.counter_examples)} counter-examples)"
-        return (
+        line = (
             f"{self.algorithm_name} on {self.family_name}: {status} "
             f"[{self.instances_checked} instances x {self.assignments_checked} id-assignments]"
         )
+        if not self.correct:
+            line += f"; first: {self.first_counterexample.describe()}"
+        return line
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (used by campaign reports)."""
+        first = self.first_counterexample
+        return {
+            "algorithm": self.algorithm_name,
+            "family": self.family_name,
+            "instances_checked": self.instances_checked,
+            "assignments_checked": self.assignments_checked,
+            "correct": self.correct,
+            "counter_examples": len(self.counter_examples),
+            "first_counterexample": None if first is None else first.as_dict(),
+        }
 
 
 def assignments_for(
@@ -190,40 +245,86 @@ def verify_decider(
     samples: int = 4,
     seed: int = 0,
     stop_at_first_failure: bool = False,
+    assignments_factory: Optional[Callable[[LabelledGraph], Sequence[IdAssignment]]] = None,
     engine: EngineLike = None,
 ) -> VerificationReport:
     """Verify a decider against ground truth on a family of instances.
 
     For every instance in the family (or in the property's own generators)
-    and every identifier assignment produced by :func:`assignments_for`, the
-    decider is run and its global accept/reject compared with the property's
-    membership answer.
+    and every identifier assignment produced by :func:`assignments_for` —
+    or by ``assignments_factory`` when a problem needs a bespoke legal-
+    assignment convention, e.g. the 1-based identifiers of the Section-2/3
+    promise problems — the decider is run and its global accept/reject
+    compared with the property's membership answer.  Failures are recorded
+    as :class:`CounterExample`\\ s carrying the witnessing assignment (see
+    :attr:`VerificationReport.first_counterexample`).
 
     ``engine`` selects the execution backend for the whole sweep.  The
-    sweep re-runs each graph under many assignments, which is exactly the
-    access pattern the :class:`~repro.engine.cached.CachedEngine` batches:
-    balls are extracted once per graph and isomorphic views are evaluated
-    once, instead of once per (instance, assignment, node) triple.
+    sweep's ``(graph, assignment)`` grid is submitted through the engine's
+    batched :meth:`~repro.engine.base.ExecutionEngine.run_many` driver: the
+    :class:`~repro.engine.cached.CachedEngine` answers repeats from its
+    memo stores, and the :class:`~repro.engine.parallel.ParallelEngine`
+    shards the grid across its worker pool (per whole family, or per
+    instance when ``stop_at_first_failure`` limits how much work may run).
     """
     family = family or InstanceFamily.from_property(prop)
     engine = resolve_engine(engine)
     report = VerificationReport(algorithm_name=algorithm.name, family_name=family.name)
-    for graph, expected in family.labelled_instances():
-        report.instances_checked += 1
-        assignments = assignments_for(
+
+    def _assignments(graph: LabelledGraph) -> List[IdAssignment]:
+        if assignments_factory is not None:
+            return list(assignments_factory(graph))
+        return assignments_for(
             graph,
             id_space=id_space,
             exhaustive_pool=exhaustive_pool,
             samples=samples,
             seed=seed,
         )
-        for ids in assignments:
+
+    def _scan(graph, expected, assignments, outputs_list) -> bool:
+        """Fold one instance's sweep into the report; ``True`` to stop early."""
+        for ids, outputs in zip(assignments, outputs_list):
             report.assignments_checked += 1
-            accepted = decide(algorithm, graph, ids, engine=engine)
-            if accepted != expected:
+            outcome = _outcome_from_outputs(outputs)
+            if outcome.accepted != expected:
                 report.counter_examples.append(
-                    CounterExample(graph=graph, ids=ids, expected=expected, accepted=accepted, family=family.name)
+                    CounterExample(
+                        graph=graph,
+                        ids=ids,
+                        expected=expected,
+                        accepted=outcome.accepted,
+                        family=family.name,
+                        rejecting_nodes=outcome.rejecting_nodes,
+                    )
                 )
                 if stop_at_first_failure:
-                    return report
+                    return True
+        return False
+
+    labelled = family.labelled_instances()
+    if stop_at_first_failure:
+        # Batch per instance so no work is spent past the failing graph.
+        for graph, expected in labelled:
+            report.instances_checked += 1
+            assignments = _assignments(graph)
+            outputs_list = engine.run_many(algorithm, [(graph, ids) for ids in assignments])
+            if _scan(graph, expected, assignments, outputs_list):
+                return report
+        return report
+
+    # One batch over the whole (instance x assignment) grid: maximal fan-out
+    # for sharding backends, identical verdict order for serial ones.
+    grid: List[Tuple[LabelledGraph, bool, List[IdAssignment]]] = []
+    jobs: List[Tuple[LabelledGraph, Optional[IdAssignment]]] = []
+    for graph, expected in labelled:
+        assignments = _assignments(graph)
+        grid.append((graph, expected, assignments))
+        jobs.extend((graph, ids) for ids in assignments)
+    outputs_list = engine.run_many(algorithm, jobs)
+    cursor = 0
+    for graph, expected, assignments in grid:
+        report.instances_checked += 1
+        _scan(graph, expected, assignments, outputs_list[cursor : cursor + len(assignments)])
+        cursor += len(assignments)
     return report

@@ -74,6 +74,15 @@ class AcceptanceEstimate:
         return wilson_interval(self.accepts, self.trials, z)
 
 
+def _accepts(outputs) -> bool:
+    for v, out in outputs.items():
+        if not isinstance(out, Verdict):
+            raise DecisionError(
+                f"randomised decider returned {out!r} at node {v!r}; expected YES or NO"
+            )
+    return all(out != NO for out in outputs.values())
+
+
 def _accepts_once(
     algorithm: RandomisedLocalAlgorithm,
     graph: LabelledGraph,
@@ -81,13 +90,7 @@ def _accepts_once(
     seed: int,
     engine: EngineLike = None,
 ) -> bool:
-    outputs = run_randomised_algorithm(algorithm, graph, ids=ids, seed=seed, engine=engine)
-    for v, out in outputs.items():
-        if not isinstance(out, Verdict):
-            raise DecisionError(
-                f"randomised decider returned {out!r} at node {v!r}; expected YES or NO"
-            )
-    return all(out != NO for out in outputs.values())
+    return _accepts(run_randomised_algorithm(algorithm, graph, ids=ids, seed=seed, engine=engine))
 
 
 def estimate_acceptance_probability(
@@ -100,16 +103,20 @@ def estimate_acceptance_probability(
 ) -> AcceptanceEstimate:
     """Estimate the probability that the randomised decider accepts ``(G, x, Id)``.
 
-    ``engine`` selects the execution backend; a caching backend reuses the
-    batched ball extraction across all ``trials`` repetitions (randomised
-    outputs themselves are never memoised).
+    All ``trials`` repetitions are submitted as one batch through the
+    engine's :meth:`~repro.engine.base.ExecutionEngine.run_randomised_many`
+    driver: a caching backend reuses the batched ball extraction across
+    them (randomised outputs themselves are never memoised), and a parallel
+    backend shards the trials across its worker pool.  Each trial's run
+    seed is drawn up-front from ``random.Random(seed)`` — the exact
+    sequence the serial loop used — so the estimate is identical for every
+    backend and worker count.
     """
     engine = resolve_engine(engine)
     rng = random.Random(seed)
-    accepts = 0
-    for _ in range(trials):
-        if _accepts_once(algorithm, graph, ids, seed=rng.randrange(2**62), engine=engine):
-            accepts += 1
+    jobs = [(graph, ids, rng.randrange(2**62)) for _ in range(trials)]
+    outputs_list = engine.run_randomised_many(algorithm, jobs)
+    accepts = sum(1 for outputs in outputs_list if _accepts(outputs))
     return AcceptanceEstimate(instance_nodes=graph.num_nodes(), trials=trials, accepts=accepts)
 
 

@@ -8,11 +8,15 @@
   the full-information message-passing protocol;
 * :class:`~repro.engine.cached.CachedEngine` — the fast path: batched BFS
   ball extraction per graph, canonical-key interning, and memoised
-  evaluation per ``(algorithm, view key)``.
+  evaluation per ``(algorithm, view key)``;
+* :class:`~repro.engine.parallel.ParallelEngine` — sweep sharding across a
+  ``multiprocessing`` pool of per-worker caching engines with deterministic
+  work partitioning.
 
 ``engine=`` arguments across the package accept an instance, a backend name
-(``"direct"`` / ``"synchronous"`` / ``"cached"``) or ``None`` for the
-shared default; see :func:`~repro.engine.base.resolve_engine`.
+(``"direct"`` / ``"synchronous"`` / ``"cached"`` / ``"parallel"``) or
+``None`` for the shared default; see
+:func:`~repro.engine.base.resolve_engine`.
 """
 
 from .base import (
@@ -25,6 +29,7 @@ from .base import (
 )
 from .cached import CachedEngine
 from .direct import DirectEngine
+from .parallel import ParallelEngine, partition_chunks
 from .store import LRUStore
 from .synchronous import SynchronousEngine
 
@@ -38,5 +43,7 @@ __all__ = [
     "DirectEngine",
     "SynchronousEngine",
     "CachedEngine",
+    "ParallelEngine",
+    "partition_chunks",
     "LRUStore",
 ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import AlgorithmError, IdentifierError
 from ..graphs.identifiers import IdAssignment
@@ -215,6 +215,40 @@ class ExecutionEngine(ABC):
             outputs[v] = algorithm.evaluate(view_map[v], rng)
         return outputs
 
+    # ------------------------------------------------------------------ #
+    # Batched drivers — the fan-out seam
+    # ------------------------------------------------------------------ #
+    #
+    # The verification sweeps (``verify_decider``, the Monte-Carlo
+    # estimators, campaign runs) are embarrassingly parallel across their
+    # ``(graph, ids)`` / ``(graph, ids, seed)`` jobs.  They submit whole job
+    # lists through these two methods so that a parallel backend can shard
+    # the list across workers; the default implementations run the jobs
+    # sequentially, which keeps every serial backend's behaviour unchanged.
+
+    def run_many(
+        self,
+        algorithm: "LocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
+    ) -> List[Dict[Node, Hashable]]:
+        """Run a deterministic algorithm over many ``(graph, ids)`` jobs.
+
+        Returns one output map per job, in job order.
+        """
+        return [self.run(algorithm, graph, ids) for graph, ids in jobs]
+
+    def run_randomised_many(
+        self,
+        algorithm: "RandomisedLocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
+    ) -> List[Dict[Node, Hashable]]:
+        """Run a randomised algorithm over many ``(graph, ids, seed)`` jobs.
+
+        Each job's seed is explicit, so results are reproducible and
+        independent of how a backend orders or shards the jobs.
+        """
+        return [self.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -224,8 +258,8 @@ class ExecutionEngine(ABC):
 # ---------------------------------------------------------------------- #
 
 #: Anything accepted by ``engine=`` arguments across the package: a concrete
-#: engine, a backend name (``"direct"`` / ``"synchronous"`` / ``"cached"``),
-#: or ``None`` for the shared default.
+#: engine, a backend name (``"direct"`` / ``"synchronous"`` / ``"cached"`` /
+#: ``"parallel"``), or ``None`` for the shared default.
 EngineLike = Union[None, str, "ExecutionEngine"]
 
 _default: Optional["ExecutionEngine"] = None
@@ -246,8 +280,8 @@ def resolve_engine(engine: Union[None, str, "ExecutionEngine"]) -> "ExecutionEng
 
     ``None`` means the shared default :class:`DirectEngine` (the original
     ball-evaluation semantics); a string names a backend (``"direct"``,
-    ``"synchronous"``, ``"cached"``) and builds a fresh instance of it; an
-    :class:`ExecutionEngine` instance is returned as-is.
+    ``"synchronous"``, ``"cached"``, ``"parallel"``) and builds a fresh
+    instance of it; an :class:`ExecutionEngine` instance is returned as-is.
     """
     if engine is None:
         return default_engine()
@@ -256,12 +290,14 @@ def resolve_engine(engine: Union[None, str, "ExecutionEngine"]) -> "ExecutionEng
     if isinstance(engine, str):
         from .cached import CachedEngine
         from .direct import DirectEngine
+        from .parallel import ParallelEngine
         from .synchronous import SynchronousEngine
 
         registry = {
             "direct": DirectEngine,
             "synchronous": SynchronousEngine,
             "cached": CachedEngine,
+            "parallel": ParallelEngine,
         }
         try:
             return registry[engine]()

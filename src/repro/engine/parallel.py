@@ -1,0 +1,382 @@
+"""Parallel backend: shard sweeps across a process pool of caching engines.
+
+The verification workloads of this reproduction — ``verify_decider`` sweeps
+over identifier assignments, Monte-Carlo estimation of randomised deciders,
+campaign runs over whole scenario grids — are embarrassingly parallel: the
+jobs share no state beyond the (immutable) input graphs and algorithms.
+:class:`ParallelEngine` exploits that by fanning the batched drivers
+(:meth:`~repro.engine.base.ExecutionEngine.run_many`,
+:meth:`~repro.engine.base.ExecutionEngine.run_randomised_many`) and large
+single-graph runs out over a ``multiprocessing`` pool:
+
+* **per-worker caching** — every worker owns a private
+  :class:`~repro.engine.cached.CachedEngine`, so the batched-BFS ball
+  extraction and the per-view memoisation run independently in each process
+  (no cross-process locking, no shared memory);
+* **deterministic work partitioning** — jobs are split into contiguous
+  chunks whose boundaries are a pure function of ``(job count, workers)``,
+  so a sweep is always sharded the same way, jobs touching the same graph
+  stay on the same worker (cache affinity), and results are re-assembled in
+  job order.  Verdicts are therefore identical to the serial backends for
+  any worker count — the equivalence suite asserts this, including the
+  degenerate 1-worker pool;
+* **fork-inherited payloads** — the pool is created per batch with the
+  ``fork`` start method and the work description published in a module
+  global *before* forking, so graphs and algorithms are inherited by the
+  children rather than pickled (closures and lambda-based
+  ``FunctionAlgorithm`` objects work unchanged); only chunk indices travel
+  to the workers and only output maps travel back;
+* **graceful serial fallback** — with ``workers=1``, on platforms without
+  ``fork``, inside an existing pool worker, or for batches below the
+  parallelism threshold, execution falls back to an in-process
+  :class:`~repro.engine.cached.CachedEngine` with identical semantics.
+
+Randomised runs stay reproducible under sharding because per-node seeds are
+derived from ``(run seed, global node index)`` via
+:func:`~repro.engine.base.derive_node_seed` — a worker evaluating the chunk
+``[k, k+1, ...)`` seeds node ``i`` exactly as the serial loop would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs.identifiers import IdAssignment
+from ..graphs.labelled_graph import LabelledGraph, Node
+from ..graphs.neighbourhood import Neighbourhood
+from .base import ExecutionEngine, derive_node_seed
+from .cached import CachedEngine
+
+if TYPE_CHECKING:  # type-only; keeps engine ↔ local_model import-cycle-free
+    from ..local_model.algorithm import LocalAlgorithm, RandomisedLocalAlgorithm
+
+__all__ = ["ParallelEngine", "partition_chunks"]
+
+
+def partition_chunks(count: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into at most ``shards`` contiguous ``(start, stop)`` chunks.
+
+    The partition is deterministic: chunk sizes differ by at most one and
+    depend only on ``(count, shards)``.  Empty chunks are never produced.
+    """
+    shards = max(1, min(shards, count))
+    base, excess = divmod(count, shards)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for k in range(shards):
+        stop = start + base + (1 if k < excess else 0)
+        if stop > start:
+            chunks.append((start, stop))
+        start = stop
+    return chunks
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side machinery
+# ---------------------------------------------------------------------- #
+#
+# The payload is published in a module global immediately before the pool is
+# forked; children inherit it through copy-on-write memory.  Workers build
+# their own CachedEngine in the pool initializer and receive only chunk
+# indices through the task queue.
+
+@dataclass
+class _Payload:
+    kind: str  # "run" | "run_randomised" | "run_many" | "run_randomised_many"
+    algorithm: Any
+    chunks: List[Tuple[int, int]]
+    # single-graph sharding
+    graph: Optional[LabelledGraph] = None
+    ids: Optional[IdAssignment] = None
+    nodes: Optional[List[Node]] = None
+    base_seed: Optional[int] = None
+    # batched jobs
+    jobs: Optional[Sequence[Tuple]] = None
+
+
+_PAYLOAD: Optional[_Payload] = None
+_WORKER_ENGINE: Optional[CachedEngine] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = CachedEngine()
+
+
+def _run_chunk(chunk_index: int):
+    """Execute one chunk of the published payload in a pool worker."""
+    payload = _PAYLOAD
+    engine = _WORKER_ENGINE
+    assert payload is not None and engine is not None
+    # A worker may process several chunks; report each chunk's own counters
+    # (caches stay warm) so the parent does not absorb earlier chunks twice.
+    engine.reset_stats()
+    start, stop = payload.chunks[chunk_index]
+    algorithm = payload.algorithm
+    if payload.kind == "run":
+        outputs = engine.run(algorithm, payload.graph, payload.ids, nodes=payload.nodes[start:stop])
+    elif payload.kind == "run_randomised":
+        outputs = _evaluate_randomised_slice(
+            engine, algorithm, payload.graph, payload.ids, payload.base_seed, payload.nodes, start, stop
+        )
+    elif payload.kind == "run_many":
+        outputs = [engine.run(algorithm, graph, ids) for graph, ids in payload.jobs[start:stop]]
+    elif payload.kind == "run_randomised_many":
+        outputs = [
+            engine.run_randomised(algorithm, graph, ids, seed)
+            for graph, ids, seed in payload.jobs[start:stop]
+        ]
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown payload kind {payload.kind!r}")
+    return outputs, engine.stats.as_dict()
+
+
+def _evaluate_randomised_slice(
+    engine: ExecutionEngine,
+    algorithm: "RandomisedLocalAlgorithm",
+    graph: LabelledGraph,
+    ids: Optional[IdAssignment],
+    base_seed: int,
+    nodes: List[Node],
+    start: int,
+    stop: int,
+) -> Dict[Node, Hashable]:
+    """Randomised evaluation of ``nodes[start:stop]`` with *global* per-node seeds.
+
+    Mirrors :meth:`ExecutionEngine.run_randomised` exactly: node ``i`` of
+    the full node list is seeded from ``(base_seed, i)`` no matter which
+    shard evaluates it, so sharded and serial runs agree bit-for-bit.
+    """
+    chunk = nodes[start:stop]
+    view_map = engine.views(graph, algorithm.radius, ids, chunk)
+    outputs: Dict[Node, Hashable] = {}
+    for offset, v in enumerate(chunk):
+        rng = random.Random(derive_node_seed(base_seed, start + offset))
+        engine.stats.nodes_run += 1
+        engine.stats.evaluations += 1
+        outputs[v] = algorithm.evaluate(view_map[v], rng)
+    return outputs
+
+
+# ---------------------------------------------------------------------- #
+# The engine
+# ---------------------------------------------------------------------- #
+
+
+class ParallelEngine(ExecutionEngine):
+    """Shard sweeps over a ``multiprocessing`` pool of per-worker caching engines.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  Defaults to the machine's CPU count
+        (capped at 8).  ``workers=1`` is the degenerate pool: everything
+        runs serially through the in-process caching engine.
+    min_parallel_jobs:
+        Smallest batch (jobs in ``run_many`` / ``run_randomised_many``)
+        worth forking a pool for; smaller batches run serially.
+    min_parallel_nodes:
+        Smallest single-graph node count worth sharding ``run`` /
+        ``run_randomised`` for.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        min_parallel_jobs: int = 4,
+        min_parallel_nodes: int = 64,
+    ) -> None:
+        super().__init__()
+        if workers is None:
+            workers = max(1, min(os.cpu_count() or 1, 8))
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.min_parallel_jobs = min_parallel_jobs
+        self.min_parallel_nodes = min_parallel_nodes
+        self._inner = CachedEngine()
+        # The in-process fallback engine reports into this engine's stats,
+        # so serial and sharded work are counted uniformly.
+        self._inner.stats = self.stats
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._inner.stats = self.stats
+
+    # -- serial delegation (views and single evaluations stay in-process) -- #
+
+    def views(
+        self,
+        graph: LabelledGraph,
+        radius: int,
+        ids: Optional[IdAssignment] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Neighbourhood]:
+        return self._inner.views(graph, radius, ids, nodes)
+
+    def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
+        return self._inner.evaluate_view(algorithm, view)
+
+    # -- pool plumbing --------------------------------------------------- #
+
+    def _can_fork(self) -> bool:
+        if self.workers <= 1:
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        # Pool workers are daemonic and may not spawn pools of their own.
+        if multiprocessing.current_process().daemon:
+            return False
+        return True
+
+    def _fan_out(self, payload: _Payload) -> Optional[List]:
+        """Run the payload's chunks on a freshly forked pool.
+
+        Returns the per-chunk results in chunk order, or ``None`` when the
+        pool could not be created (the caller then falls back to serial
+        execution).
+        """
+        global _PAYLOAD
+        ctx = multiprocessing.get_context("fork")
+        _PAYLOAD = payload
+        try:
+            try:
+                pool = ctx.Pool(processes=min(self.workers, len(payload.chunks)), initializer=_init_worker)
+            except OSError:
+                return None
+            try:
+                results = pool.map(_run_chunk, range(len(payload.chunks)))
+            finally:
+                pool.close()
+                pool.join()
+        finally:
+            _PAYLOAD = None
+        merged: List = []
+        for outputs, stats in results:
+            merged.append(outputs)
+            self._absorb_stats(stats)
+        self.stats.extra["parallel_batches"] = self.stats.extra.get("parallel_batches", 0) + 1
+        self.stats.extra["parallel_chunks"] = (
+            self.stats.extra.get("parallel_chunks", 0) + len(payload.chunks)
+        )
+        return merged
+
+    def _absorb_stats(self, worker_stats: Dict[str, int]) -> None:
+        for field_name in ("nodes_run", "evaluations", "evaluation_hits", "ball_extractions", "ball_hits"):
+            setattr(self.stats, field_name, getattr(self.stats, field_name) + worker_stats.get(field_name, 0))
+        for key, value in worker_stats.items():
+            if key in ("nodes_run", "evaluations", "evaluation_hits", "ball_extractions", "ball_hits"):
+                continue
+            if isinstance(value, int):
+                self.stats.extra[key] = self.stats.extra.get(key, 0) + value
+
+    # -- sharded drivers ------------------------------------------------- #
+
+    def run(
+        self,
+        algorithm: "LocalAlgorithm",
+        graph: LabelledGraph,
+        ids: Optional[IdAssignment] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Hashable]:
+        chosen = list(nodes) if nodes is not None else list(graph.nodes())
+        use_ids = self._ids_for(algorithm, ids)
+        if len(chosen) < self.min_parallel_nodes or not self._can_fork():
+            # Preserve nodes=None so the inner engine's whole-run memo applies.
+            return self._inner.run(algorithm, graph, ids, nodes=None if nodes is None else chosen)
+        payload = _Payload(
+            kind="run",
+            algorithm=algorithm,
+            chunks=partition_chunks(len(chosen), self.workers),
+            graph=graph,
+            ids=use_ids,
+            nodes=chosen,
+        )
+        shards = self._fan_out(payload)
+        if shards is None:
+            return self._inner.run(algorithm, graph, ids, nodes=None if nodes is None else chosen)
+        outputs: Dict[Node, Hashable] = {}
+        for shard in shards:
+            outputs.update(shard)
+        return {v: outputs[v] for v in chosen}
+
+    def run_randomised(
+        self,
+        algorithm: "RandomisedLocalAlgorithm",
+        graph: LabelledGraph,
+        ids: Optional[IdAssignment] = None,
+        seed: Optional[int] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Hashable]:
+        chosen = list(nodes) if nodes is not None else list(graph.nodes())
+        use_ids = self._ids_for(algorithm, ids)
+        base = seed if seed is not None else random.randrange(2**63)
+        if len(chosen) < self.min_parallel_nodes or not self._can_fork():
+            return self._inner.run_randomised(algorithm, graph, use_ids, base, nodes=chosen)
+        payload = _Payload(
+            kind="run_randomised",
+            algorithm=algorithm,
+            chunks=partition_chunks(len(chosen), self.workers),
+            graph=graph,
+            ids=use_ids,
+            nodes=chosen,
+            base_seed=base,
+        )
+        shards = self._fan_out(payload)
+        if shards is None:
+            return self._inner.run_randomised(algorithm, graph, use_ids, base, nodes=None if nodes is None else chosen)
+        outputs: Dict[Node, Hashable] = {}
+        for shard in shards:
+            outputs.update(shard)
+        return {v: outputs[v] for v in chosen}
+
+    def run_many(
+        self,
+        algorithm: "LocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
+    ) -> List[Dict[Node, Hashable]]:
+        jobs = list(jobs)
+        if len(jobs) < self.min_parallel_jobs or not self._can_fork():
+            return [self._inner.run(algorithm, graph, ids) for graph, ids in jobs]
+        payload = _Payload(
+            kind="run_many",
+            algorithm=algorithm,
+            chunks=partition_chunks(len(jobs), self.workers),
+            jobs=jobs,
+        )
+        shards = self._fan_out(payload)
+        if shards is None:
+            return [self._inner.run(algorithm, graph, ids) for graph, ids in jobs]
+        return [outputs for shard in shards for outputs in shard]
+
+    def run_randomised_many(
+        self,
+        algorithm: "RandomisedLocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
+    ) -> List[Dict[Node, Hashable]]:
+        jobs = list(jobs)
+        if len(jobs) < self.min_parallel_jobs or not self._can_fork():
+            return [
+                self._inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs
+            ]
+        payload = _Payload(
+            kind="run_randomised_many",
+            algorithm=algorithm,
+            chunks=partition_chunks(len(jobs), self.workers),
+            jobs=jobs,
+        )
+        shards = self._fan_out(payload)
+        if shards is None:
+            return [
+                self._inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs
+            ]
+        return [outputs for shard in shards for outputs in shard]
+
+    def __repr__(self) -> str:
+        return f"ParallelEngine(workers={self.workers})"

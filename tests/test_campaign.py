@@ -1,0 +1,201 @@
+"""The campaign subsystem: bundled scenarios, runner, reports, CLI, CI gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignReport,
+    bundled_scenarios,
+    get_scenario,
+    run_campaign,
+    run_scenario,
+    scenario_names,
+    write_report,
+)
+from repro.campaign.cli import main as campaign_main
+from repro.engine import ParallelEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SMOKE = ["classic-cycles-vs-paths", "sec2-promise-cycles"]
+
+
+def _parallel():
+    return ParallelEngine(workers=2, min_parallel_jobs=2, min_parallel_nodes=8)
+
+
+# ---------------------------------------------------------------------- #
+# The bundle
+# ---------------------------------------------------------------------- #
+
+
+def test_bundle_has_at_least_six_unique_scenarios():
+    specs = bundled_scenarios()
+    assert len(specs) >= 6
+    names = [spec.name for spec in specs]
+    assert len(set(names)) == len(names)
+    sections = {spec.section for spec in specs}
+    # The bundle spans both separation sections and the classic examples.
+    assert any(s.startswith("2") for s in sections)
+    assert any(s.startswith("3") for s in sections)
+    assert "classic" in sections
+
+
+def test_get_scenario_unknown_name():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_specs_render_list_rows():
+    for spec in bundled_scenarios():
+        row = spec.as_row()
+        assert row[0] == spec.name
+        assert spec.kind in ("verify", "estimate")
+
+
+# ---------------------------------------------------------------------- #
+# Runner: engine equivalence and expected failures
+# ---------------------------------------------------------------------- #
+
+
+def test_smoke_campaign_parallel_matches_direct():
+    direct = run_campaign(SMOKE, engine="direct", quick=True, name="smoke")
+    parallel = run_campaign(SMOKE, engine=_parallel(), quick=True, name="smoke")
+    assert direct.ok and parallel.ok
+    for d, p in zip(direct.results, parallel.results):
+        assert d.name == p.name
+        assert d.observed_correct == p.observed_correct
+        assert d.instances == p.instances
+        assert d.sweeps == p.sweeps
+        # The verification details (counts, verdict, counter-examples) agree.
+        for key in ("correct", "instances_checked", "assignments_checked", "counter_examples"):
+            assert d.details[key] == p.details[key]
+
+
+def test_estimate_scenario_statistics_backend_independent():
+    direct = run_scenario("cor1-randomised", engine="direct", quick=True)
+    parallel = run_scenario("cor1-randomised", engine=_parallel(), quick=True)
+    assert direct.ok and parallel.ok
+    for key in ("worst_yes_acceptance", "worst_no_rejection", "trials_per_instance"):
+        assert direct.details[key] == parallel.details[key]
+
+
+def test_expected_failure_scenario_cites_counterexample():
+    result = run_scenario("sec3-oblivious-budget", quick=True)
+    assert result.ok  # the failure is expected: that IS the separation
+    assert result.observed_correct is False and result.expected_correct is False
+    first = result.details["first_counterexample"]
+    assert first is not None
+    assert first["kind"] == "false-accept"
+    assert first["assignment"]  # the witnessing identifier assignment is cited
+
+
+def test_scenario_results_carry_engine_stats():
+    result = run_scenario("classic-colouring", engine="cached", quick=True)
+    assert result.engine == "cached"
+    assert result.engine_stats["nodes_run"] > 0
+    # The caching backend must actually reuse work across the sweep.
+    assert result.engine_stats["evaluation_hits"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# Reports
+# ---------------------------------------------------------------------- #
+
+
+def test_report_json_schema(tmp_path):
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="schema-check")
+    path = write_report(report, tmp_path / "campaign.json")
+    payload = json.loads(path.read_text())
+    assert payload["campaign"] == "schema-check"
+    assert payload["ok"] is True
+    assert payload["quick"] is True
+    assert len(payload["scenarios"]) == len(SMOKE)
+    for scenario in payload["scenarios"]:
+        for key in ("name", "kind", "engine", "seconds", "ok", "instances", "sweeps", "engine_stats", "details"):
+            assert key in scenario
+    assert isinstance(CampaignReport(name="x", engine="cached", quick=False).as_dict(), dict)
+
+
+def test_summary_table_mentions_every_scenario():
+    report = run_campaign(SMOKE, engine="cached", quick=True)
+    table = report.summary_table()
+    for name in SMOKE:
+        assert name in table
+
+
+# ---------------------------------------------------------------------- #
+# CLI
+# ---------------------------------------------------------------------- #
+
+
+def test_cli_list(capsys):
+    assert campaign_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_cli_runs_scenarios_and_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    code = campaign_main(
+        ["classic-cycles-vs-paths", "--quick", "--engine", "parallel", "--workers", "2", "--output", str(out_path)]
+    )
+    assert code == 0
+    assert out_path.exists()
+    out = capsys.readouterr().out
+    assert "campaign OK" in out
+
+
+def test_cli_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        campaign_main(["definitely-not-a-scenario", "--no-report"])
+
+
+def test_cli_rejects_workers_without_parallel_engine():
+    with pytest.raises(SystemExit):
+        campaign_main(["classic-colouring", "--workers", "2", "--no-report"])
+
+
+def test_runner_rejects_workers_for_non_parallel_engine():
+    with pytest.raises(ValueError, match="parallel"):
+        run_scenario("classic-colouring", engine="cached", workers=2, quick=True)
+
+
+# ---------------------------------------------------------------------- #
+# The CI benchmark-regression gate
+# ---------------------------------------------------------------------- #
+
+
+def _gate(tmp_path, baseline_speedup, fresh_speedup, *extra):
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps({"speedup_direct_over_cached": baseline_speedup}))
+    fresh.write_text(json.dumps({"speedup_direct_over_cached": fresh_speedup}))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "check_regression.py"), str(baseline), str(fresh), *extra],
+        capture_output=True,
+        text=True,
+    )
+    return proc
+
+
+def test_regression_gate_passes_above_floor(tmp_path):
+    proc = _gate(tmp_path, 10.0, 8.0)
+    assert proc.returncode == 0, proc.stdout
+
+
+def test_regression_gate_fails_below_floor(tmp_path):
+    proc = _gate(tmp_path, 10.0, 2.5)
+    assert proc.returncode == 1
+    assert "below the 3.00x floor" in proc.stdout
+
+
+def test_regression_gate_max_drop(tmp_path):
+    proc = _gate(tmp_path, 20.0, 4.0, "--max-drop", "0.5")
+    assert proc.returncode == 1
+    assert "dropped more than" in proc.stdout

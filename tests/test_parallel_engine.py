@@ -1,0 +1,283 @@
+"""Equivalence of the ParallelEngine with the serial backends.
+
+The sharding contract: for any worker count — including the degenerate
+1-worker pool — the parallel backend produces verdicts and randomised-
+estimation statistics identical to the direct and cached backends.  The
+tests force sharding with tiny parallelism thresholds so the pool paths are
+actually exercised on the small test instances.
+"""
+
+import pytest
+
+from repro.decision import (
+    FunctionProperty,
+    InstanceFamily,
+    assignments_for,
+    decide,
+    estimate_acceptance_probability,
+    verify_decider,
+)
+from repro.engine import (
+    CachedEngine,
+    DirectEngine,
+    ParallelEngine,
+    partition_chunks,
+    resolve_engine,
+)
+from repro.errors import AlgorithmError
+from repro.graphs import BoundedIdentifierSpace, cycle_graph, grid_graph, path_graph, sequential_assignment
+from repro.local_model import (
+    NO,
+    YES,
+    FunctionAlgorithm,
+    FunctionIdObliviousAlgorithm,
+    FunctionRandomisedAlgorithm,
+    run_algorithm,
+    run_randomised_algorithm,
+)
+from repro.separation.bounded_ids import (
+    BoundedIdsLDDecider,
+    SmallInstancesProperty,
+    section2_family,
+    small_bound,
+)
+
+# Tiny thresholds so the fork-pool paths run even on the small test inputs.
+SHARD = dict(min_parallel_jobs=2, min_parallel_nodes=8)
+
+
+def _parallel(workers):
+    return ParallelEngine(workers=workers, **SHARD)
+
+
+# ---------------------------------------------------------------------- #
+# Partitioning
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("count,shards", [(0, 4), (1, 4), (5, 2), (8, 3), (12, 12), (7, 100)])
+def test_partition_chunks_covers_range_contiguously(count, shards):
+    chunks = partition_chunks(count, shards)
+    assert len(chunks) <= max(1, shards)
+    flattened = [i for start, stop in chunks for i in range(start, stop)]
+    assert flattened == list(range(count))
+    assert all(stop > start for start, stop in chunks)
+    # Determinism: the partition is a pure function of (count, shards).
+    assert chunks == partition_chunks(count, shards)
+
+
+def test_partition_chunks_balanced():
+    sizes = [stop - start for start, stop in partition_chunks(10, 4)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------- #
+# Engine resolution
+# ---------------------------------------------------------------------- #
+
+
+def test_resolve_engine_knows_parallel():
+    engine = resolve_engine("parallel")
+    assert isinstance(engine, ParallelEngine)
+    with pytest.raises(AlgorithmError, match="parallel"):
+        resolve_engine("bogus")
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(ValueError):
+        ParallelEngine(workers=0)
+
+
+# ---------------------------------------------------------------------- #
+# Cycles-vs-paths: verdict-for-verdict equivalence
+# ---------------------------------------------------------------------- #
+
+
+def _cycle_path_family(sizes=(12, 16)):
+    return InstanceFamily(
+        name="cycles-vs-paths",
+        yes_instances=[cycle_graph(n, label="x") for n in sizes],
+        no_instances=[path_graph(n, label="x") for n in sizes],
+    )
+
+
+def _cycle_property():
+    return FunctionProperty(
+        lambda g: g.num_nodes() >= 3 and all(g.degree(v) == 2 for v in g.nodes()),
+        name="uniform-cycle",
+    )
+
+
+def _cycle_decider():
+    def evaluate(view):
+        if view.center_degree() != 2:
+            return NO
+        if any(view.label_of(v) != "x" for v in view.nodes()):
+            return NO
+        return YES
+
+    return FunctionIdObliviousAlgorithm(evaluate, radius=1, name="cycle-decider")
+
+
+def _verdict_matrix(engine):
+    family = _cycle_path_family()
+    decider = _cycle_decider()
+    matrix = []
+    for graph, _expected in family.labelled_instances():
+        for ids in assignments_for(graph, samples=5, seed=3):
+            matrix.append(decide(decider, graph, ids, engine=engine))
+    return matrix
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_verdict_matrix_identical_to_direct(workers):
+    assert _verdict_matrix(DirectEngine()) == _verdict_matrix(_parallel(workers))
+
+
+def test_verify_decider_reports_match_across_backends():
+    family = _cycle_path_family()
+    prop = _cycle_property()
+    reports = {}
+    for key, engine in [
+        ("direct", DirectEngine()),
+        ("cached", CachedEngine()),
+        ("parallel-2", _parallel(2)),
+        ("parallel-1", _parallel(1)),
+    ]:
+        reports[key] = verify_decider(_cycle_decider(), prop, family=family, samples=5, engine=engine)
+    baseline = reports["direct"]
+    for report in reports.values():
+        assert report.correct
+        assert report.instances_checked == baseline.instances_checked
+        assert report.assignments_checked == baseline.assignments_checked
+
+
+# ---------------------------------------------------------------------- #
+# Property P (Section 2): the multi-stage LD decider under sharding
+# ---------------------------------------------------------------------- #
+
+
+def test_property_p_scenario_matches_direct():
+    depth_fn = lambda r: 4  # noqa: E731
+    fam = section2_family(r=2, tree_depth=4, bound_fn=small_bound)
+    prop = SmallInstancesProperty(bound_fn=small_bound, tree_depth_override=depth_fn)
+    space = BoundedIdentifierSpace(small_bound)
+
+    def verify(engine):
+        decider = BoundedIdsLDDecider(bound_fn=small_bound, tree_depth_override=depth_fn)
+        return verify_decider(decider, prop, family=fam, id_space=space, samples=2, engine=engine)
+
+    direct = verify(DirectEngine())
+    parallel = verify(_parallel(2))
+    assert direct.correct and parallel.correct
+    assert direct.assignments_checked == parallel.assignments_checked
+    assert direct.summary() == parallel.summary()
+
+
+# ---------------------------------------------------------------------- #
+# Sharded single-graph runs
+# ---------------------------------------------------------------------- #
+
+
+def test_sharded_run_matches_direct_on_id_dependent_algorithm():
+    graph = grid_graph(8, 8, label="g")
+    ids = sequential_assignment(graph)
+    algorithm = FunctionAlgorithm(
+        lambda view: YES if view.max_visible_identifier() % 2 == 0 else NO, radius=2, name="parity"
+    )
+    expected = run_algorithm(algorithm, graph, ids)
+    engine = _parallel(2)
+    assert run_algorithm(algorithm, graph, ids, engine=engine) == expected
+    # The pool actually ran (the grid is above the sharding threshold).
+    assert engine.stats.extra.get("parallel_batches", 0) >= 1
+    assert engine.stats.nodes_run == graph.num_nodes()
+
+
+def test_stats_are_exact_even_when_a_worker_takes_several_chunks():
+    # More chunks than workers: a fast worker picks up several chunks; each
+    # chunk must contribute its own counters exactly once.
+    graphs = [cycle_graph(12, label="x") for _ in range(16)]
+    engine = ParallelEngine(workers=3, min_parallel_jobs=2)
+    for _ in range(3):
+        engine.reset_stats()
+        outputs = engine.run_many(_cycle_decider(), [(g, None) for g in graphs])
+        assert len(outputs) == 16
+        assert engine.stats.nodes_run == 16 * 12
+
+
+def test_one_worker_pool_is_serial_but_equivalent():
+    graph = cycle_graph(32, label="x")
+    engine = _parallel(1)
+    outputs = run_algorithm(_cycle_decider(), graph, engine=engine)
+    assert outputs == run_algorithm(_cycle_decider(), graph)
+    # workers=1 must not fork at all.
+    assert "parallel_batches" not in engine.stats.extra
+
+
+# ---------------------------------------------------------------------- #
+# Randomised runs and estimation statistics
+# ---------------------------------------------------------------------- #
+
+
+def _coin_decider():
+    return FunctionRandomisedAlgorithm(
+        lambda view, rng: YES if rng.random() < 0.7 else NO, radius=1, name="biased-coin"
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_randomised_run_is_shard_independent(workers):
+    graph = cycle_graph(40, label="x")
+    serial = run_randomised_algorithm(_coin_decider(), graph, seed=11)
+    sharded = run_randomised_algorithm(_coin_decider(), graph, seed=11, engine=_parallel(workers))
+    assert serial == sharded
+
+
+def test_estimation_statistics_match_serial_backends():
+    graph = cycle_graph(24, label="x")
+    estimates = {
+        key: estimate_acceptance_probability(_coin_decider(), graph, trials=10, seed=5, engine=engine)
+        for key, engine in [
+            ("direct", DirectEngine()),
+            ("cached", CachedEngine()),
+            ("parallel-2", _parallel(2)),
+            ("parallel-1", _parallel(1)),
+        ]
+    }
+    baseline = estimates["direct"]
+    for estimate in estimates.values():
+        assert estimate.accepts == baseline.accepts
+        assert estimate.trials == baseline.trials
+        assert estimate.acceptance_rate == baseline.acceptance_rate
+
+
+# ---------------------------------------------------------------------- #
+# Counter-example surfacing (the report carries the assignment)
+# ---------------------------------------------------------------------- #
+
+
+def test_first_counterexample_cites_assignment():
+    family = _cycle_path_family(sizes=(8,))
+    prop = _cycle_property()
+    always_yes = FunctionIdObliviousAlgorithm(lambda view: YES, radius=1, name="always-yes")
+    report = verify_decider(always_yes, prop, family=family, samples=2, engine=_parallel(2))
+    assert not report.correct
+    first = report.first_counterexample
+    assert first is not None
+    assert first.kind == "false-accept"
+    assert first.ids is not None and len(first.ids) == first.graph.num_nodes()
+    assert "first:" in report.summary()
+    payload = report.as_dict()
+    assert payload["first_counterexample"]["assignment"]
+    assert payload["correct"] is False
+
+
+def test_stop_at_first_failure_still_reports_assignment():
+    family = _cycle_path_family(sizes=(8,))
+    prop = _cycle_property()
+    always_yes = FunctionIdObliviousAlgorithm(lambda view: YES, radius=1, name="always-yes")
+    report = verify_decider(
+        always_yes, prop, family=family, samples=2, stop_at_first_failure=True, engine=_parallel(2)
+    )
+    assert len(report.counter_examples) == 1
+    assert report.first_counterexample.as_dict()["assignment"] is not None
