@@ -14,24 +14,57 @@ the gate exists so the comparison against the committed trajectory is an
 explicit, artifact-producing CI step rather than a side effect of the test
 run, and so ``--max-drop`` can additionally flag large relative regressions
 against the baseline.
+
+Exit codes: 0 = no regression, 1 = regression detected, 2 = a record is
+unusable (missing/zero/negative/NaN speedup) — an unusable baseline fails
+loudly instead of turning ``--max-drop`` into a vacuous comparison.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 SPEEDUP_KEY = "speedup_direct_over_cached"
 
+#: Exit code for an unusable record (distinct from 1 = genuine regression).
+EXIT_INVALID_RECORD = 2
 
-def load_speedup(path: Path) -> float:
+
+def load_speedup(path: Path, role: str) -> float:
+    """Load and validate one record's speedup; exit 2 on an unusable value.
+
+    A zero, negative or non-finite speedup can only come from a broken
+    measurement (a zero timing, a corrupted record); comparing against it
+    would make every ratio vacuous — ``--max-drop`` in particular would
+    silently pass against ``ratio = inf`` — so it must be an explicit
+    failure, not a green gate.
+    """
     payload = json.loads(path.read_text())
     try:
-        return float(payload[SPEEDUP_KEY])
+        speedup = float(payload[SPEEDUP_KEY])
     except KeyError:
-        raise SystemExit(f"{path}: missing {SPEEDUP_KEY!r} key") from None
+        print(f"INVALID: {role} record {path}: missing {SPEEDUP_KEY!r} key", file=sys.stderr)
+        raise SystemExit(EXIT_INVALID_RECORD) from None
+    except (TypeError, ValueError):
+        print(
+            f"INVALID: {role} record {path}: {SPEEDUP_KEY!r} is not a number "
+            f"({payload.get(SPEEDUP_KEY)!r})",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_INVALID_RECORD) from None
+    if not math.isfinite(speedup) or speedup <= 0:
+        print(
+            f"INVALID: {role} record {path}: {SPEEDUP_KEY} = {speedup!r} is not a "
+            "positive finite speedup; the gate cannot compare against it "
+            "(re-measure the benchmark instead of passing vacuously)",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_INVALID_RECORD)
+    return speedup
 
 
 def main(argv=None) -> int:
@@ -54,9 +87,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_speedup(args.baseline)
-    fresh = load_speedup(args.fresh)
-    ratio = fresh / baseline if baseline > 0 else float("inf")
+    baseline = load_speedup(args.baseline, "baseline")
+    fresh = load_speedup(args.fresh, "fresh")
+    ratio = fresh / baseline
     print(
         f"CachedEngine speedup: baseline {baseline:.2f}x, fresh {fresh:.2f}x "
         f"({ratio:.2f}x of baseline); floor {args.min_speedup:.2f}x"

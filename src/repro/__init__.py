@@ -35,7 +35,9 @@ from .engine import (
     DirectEngine,
     ExecutionEngine,
     ParallelEngine,
+    PersistentEngine,
     SynchronousEngine,
+    VerdictStore,
     resolve_engine,
 )
 from .graphs import IdAssignment, LabelledGraph
@@ -53,6 +55,8 @@ __all__ = [
     "SynchronousEngine",
     "CachedEngine",
     "ParallelEngine",
+    "PersistentEngine",
+    "VerdictStore",
     "resolve_engine",
     "LabelledGraph",
     "IdAssignment",

@@ -14,16 +14,21 @@ execution engine — and runs whole grids in one go:
 * :mod:`repro.campaign.runner` — executes specs on any execution engine
   (including the :class:`~repro.engine.parallel.ParallelEngine`) and
   collects verdicts / timings / engine statistics into JSON reports under
-  ``benchmarks/``;
-* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` command.
+  ``benchmarks/``; with a persistent verdict store
+  (:class:`~repro.engine.persistent.VerdictStore`) attached, settled jobs
+  replay from disk across runs, and :func:`resume_campaign` merges into an
+  existing report re-running only missing/stale scenarios;
+* :mod:`repro.campaign.cli` — the ``python -m repro.campaign`` command
+  (``--store``, ``--resume``, ``--min-replayed``).
 """
 
-from .runner import DEFAULT_REPORT_PATH, run_campaign, run_scenario, write_report
+from .runner import DEFAULT_REPORT_PATH, resume_campaign, run_campaign, run_scenario, write_report
 from .scenarios import bundled_scenarios, get_scenario, scenario_names
 from .spec import CampaignReport, ScenarioResult, ScenarioSpec, ScenarioWorkload
 
 __all__ = [
     "DEFAULT_REPORT_PATH",
+    "resume_campaign",
     "run_campaign",
     "run_scenario",
     "write_report",

@@ -17,18 +17,35 @@ Run two scenarios on a 2-worker parallel engine, quickly::
         sec2-promise-cycles --engine parallel --workers 2 --quick \\
         --output benchmarks/BENCH_campaign_smoke.json
 
+Sweep against a persistent verdict store — the second invocation replays
+settled jobs from disk instead of recomputing them::
+
+    PYTHONPATH=src python -m repro.campaign --quick --workers 2 \\
+        --store /tmp/verdicts
+    PYTHONPATH=src python -m repro.campaign --quick --workers 2 \\
+        --store /tmp/verdicts --min-replayed 0.9
+
+Resume an interrupted or partially stale campaign — only scenarios whose
+spec digest or verdict is missing/stale are re-run, and the merged report
+is written back::
+
+    PYTHONPATH=src python -m repro.campaign \\
+        --resume benchmarks/BENCH_campaign.json --store /tmp/verdicts
+
 The process exits non-zero when any scenario misbehaves (a decider that
 should verify does not, or an expected failure fails to appear), so CI can
-gate on campaign runs directly.
+gate on campaign runs directly.  ``--min-replayed`` additionally gates on
+the fraction of jobs replayed from the store.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..analysis.reporting import format_table
-from .runner import DEFAULT_REPORT_PATH, run_campaign, write_report
+from .runner import DEFAULT_REPORT_PATH, resume_campaign, run_campaign, write_report
 from .scenarios import bundled_scenarios, scenario_names
 
 __all__ = ["main", "build_parser"]
@@ -57,10 +74,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for --engine parallel (default: CPU count)",
+        help="worker processes for the parallel backend (implies --engine parallel)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller size ladders and fewer Monte-Carlo trials"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="force the full ladders; with --resume this overrides the "
+        "resumed report's recorded quick mode (which is otherwise inherited)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent verdict store directory: settled jobs are replayed "
+        "from disk across runs instead of recomputed",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="REPORT",
+        help="merge into an existing campaign report, re-running only the "
+        "scenarios whose spec digest or verdict is missing/stale "
+        "(the merged report is written back to REPORT unless --output is given)",
+    )
+    parser.add_argument(
+        "--min-replayed",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail unless at least this fraction of jobs was replayed from "
+        "the store (requires --store); used by CI to prove warm sweeps",
     )
     parser.add_argument(
         "--output",
@@ -93,11 +139,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = sorted(set(names) - set(scenario_names()))
     if unknown:
         parser.error(f"unknown scenario(s) {unknown}; see --list")
-    if args.workers is not None and args.engine != "parallel":
-        parser.error("--workers requires --engine parallel")
-    report = run_campaign(
-        names, engine=args.engine, workers=args.workers, quick=args.quick
-    )
+    if args.workers is not None and args.engine is not None and args.engine != "parallel":
+        parser.error("--workers requires the parallel backend (drop --engine or use --engine parallel)")
+    if args.min_replayed is not None and args.store is None:
+        parser.error("--min-replayed requires --store")
+    if args.quick and args.full:
+        parser.error("--quick and --full are mutually exclusive")
+    if args.resume is not None:
+        resume_path = Path(args.resume)
+        if not resume_path.exists():
+            parser.error(f"--resume report {resume_path} does not exist")
+        # quick: explicit flags win; otherwise inherit the report's mode so
+        # the merged report stays comparable with itself.
+        quick = True if args.quick else (False if args.full else None)
+        report, reused = resume_campaign(
+            resume_path,
+            scenarios=names,
+            engine=args.engine,
+            workers=args.workers,
+            quick=quick,
+            store=args.store,
+        )
+        print(f"resumed from {resume_path}: {reused} scenario(s) reused, "
+              f"{len(names) - reused} re-run")
+    else:
+        report = run_campaign(
+            names, engine=args.engine, workers=args.workers, quick=args.quick, store=args.store
+        )
     print(report.summary_table())
     for result in report.results:
         first = result.details.get("first_counterexample")
@@ -107,10 +175,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"n={first['num_nodes']} under assignment {first['assignment']}"
             )
     if not args.no_report:
-        path = write_report(report, args.output)
+        default = Path(args.resume) if args.resume is not None else None
+        path = write_report(report, args.output if args.output is not None else default)
         print(f"report written to {path}")
-    print(f"campaign {'OK' if report.ok else 'FAILED'}")
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.min_replayed is not None:
+        # Gate only on scenarios this invocation actually ran: results
+        # carried over by --resume keep the counters of the run that
+        # produced them, which say nothing about the store's warmth now.
+        fresh = [r for r in report.results if not r.resumed]
+        replayed = sum(r.jobs_replayed for r in fresh)
+        total = replayed + sum(r.jobs_computed for r in fresh)
+        fraction = replayed / total if total else 1.0
+        print(
+            f"store replay: {replayed}/{total} jobs "
+            f"({fraction:.1%}, floor {args.min_replayed:.1%}"
+            + (f"; {len(report.results) - len(fresh)} resumed scenario(s) excluded)" if len(fresh) != len(report.results) else ")")
+        )
+        if fraction < args.min_replayed:
+            print(
+                f"FAIL: only {fraction:.1%} of jobs replayed from the store "
+                f"(floor {args.min_replayed:.1%})"
+            )
+            ok = False
+    print(f"campaign {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m

@@ -5,40 +5,69 @@ executes it through the selected execution engine (a fresh engine per
 scenario so statistics are attributable), and assembles a
 :class:`~repro.campaign.spec.CampaignReport` with per-scenario verdicts,
 wall-clock timings and :class:`~repro.engine.base.EngineStats` counters.
-Reports are written as JSON under ``benchmarks/`` by default, next to the
-engine benchmark records, so the performance and correctness trajectory of
-the reproduction is tracked across PRs by the same CI artifacts.
+Reports are written atomically as JSON under ``benchmarks/`` by default,
+next to the engine benchmark records, so the performance and correctness
+trajectory of the reproduction is tracked across PRs by the same CI
+artifacts.
+
+Two incremental mechanisms make repeated campaigns cheap:
+
+* ``store=`` wraps every scenario's engine in one shared
+  :class:`~repro.engine.persistent.VerdictStore`
+  (:class:`~repro.engine.persistent.PersistentEngine`), so jobs settled in
+  any earlier run — or earlier scenario of the same run — are replayed
+  from disk instead of recomputed; reports record the replayed/computed
+  split per scenario.
+* :func:`resume_campaign` merges into an existing report: scenarios whose
+  recorded spec digest still matches (and whose verdict is present) are
+  carried over untouched, and only missing or stale scenarios are re-run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+import tempfile
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..decision.decider import verify_decider
 from ..decision.randomized import evaluate_pq_decider
 from ..engine.base import EngineLike, ExecutionEngine, resolve_engine
 from ..engine.parallel import ParallelEngine
+from ..engine.persistent import VerdictStore
 from .scenarios import bundled_scenarios, get_scenario
 from .spec import CampaignReport, ScenarioResult, ScenarioSpec
 
-__all__ = ["run_scenario", "run_campaign", "write_report", "DEFAULT_REPORT_PATH"]
+__all__ = [
+    "run_scenario",
+    "run_campaign",
+    "resume_campaign",
+    "write_report",
+    "DEFAULT_REPORT_PATH",
+]
 
 #: Default location of campaign reports, next to the benchmark records.
 DEFAULT_REPORT_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_campaign.json"
+
+#: Anything accepted by ``store=`` arguments: an open store, a directory
+#: path to open one at, or ``None`` for no cross-run persistence.
+StoreLike = Union[None, str, Path, VerdictStore]
 
 
 def _engine_for(spec: ScenarioSpec, engine: EngineLike, workers: Optional[int]) -> ExecutionEngine:
     """Resolve the engine one scenario runs on.
 
     ``engine=None`` uses the spec's declared backend; a string overrides it
-    for the whole campaign; an instance is shared as-is.  ``workers`` is
-    only meaningful for the parallel backend — passing it with any other
+    for the whole campaign; an instance is shared as-is.  ``workers`` only
+    makes sense for the parallel backend: given alone it *implies*
+    ``engine="parallel"``, while combining it with any other explicit
     backend is an error rather than a silent no-op.
     """
+    if workers is not None and engine is None:
+        return ParallelEngine(workers=workers)
     if engine is None:
         engine = spec.engine
     if isinstance(engine, str) and engine == "parallel" and workers is not None:
@@ -51,15 +80,41 @@ def _engine_for(spec: ScenarioSpec, engine: EngineLike, workers: Optional[int]) 
     return resolve_engine(engine)
 
 
+def _resolve_store(store: StoreLike) -> Tuple[Optional[VerdictStore], bool]:
+    """Open a store if needed; the flag says whether this call owns (closes) it."""
+    if store is None:
+        return None, False
+    if isinstance(store, VerdictStore):
+        return store, False
+    return VerdictStore(store), True
+
+
 def run_scenario(
     spec_or_name: Union[ScenarioSpec, str],
     engine: EngineLike = None,
     workers: Optional[int] = None,
     quick: bool = False,
+    store: StoreLike = None,
 ) -> ScenarioResult:
-    """Execute one scenario and return its result record."""
+    """Execute one scenario and return its result record.
+
+    With ``store`` given, the scenario's engine is wrapped in the verdict
+    store so already-settled jobs replay from disk; the result records how
+    many jobs were replayed vs computed.
+    """
     spec = get_scenario(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
     eng = _engine_for(spec, engine, workers)
+    verdict_store, owns_store = _resolve_store(store)
+    if verdict_store is not None:
+        eng = eng.with_store(verdict_store)
+    try:
+        return _execute(spec, eng, quick)
+    finally:
+        if owns_store and verdict_store is not None:
+            verdict_store.close()
+
+
+def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioResult:
     eng.reset_stats()
     sizes = spec.ladder(quick)
     workload = spec.build(spec, sizes)
@@ -78,6 +133,7 @@ def run_scenario(
         observed = report.correct
         instances = report.instances_checked
         sweeps = report.assignments_checked
+        computed, replayed = report.jobs_computed, report.jobs_replayed
         summary = report.summary()
         details = report.as_dict()
     elif spec.kind == "estimate":
@@ -96,6 +152,7 @@ def run_scenario(
         observed = report.satisfied
         instances = len(workload.family)
         sweeps = trials * instances
+        computed, replayed = report.trials_computed, report.trials_replayed
         summary = report.summary()
         details = {
             "target_p": workload.target_p,
@@ -103,6 +160,8 @@ def run_scenario(
             "trials_per_instance": trials,
             "worst_yes_acceptance": report.worst_yes_acceptance,
             "worst_no_rejection": report.worst_no_rejection,
+            "trials_computed": computed,
+            "trials_replayed": replayed,
         }
     else:
         raise ValueError(f"unknown scenario kind {spec.kind!r} in {spec.name!r}")
@@ -119,6 +178,9 @@ def run_scenario(
         summary=summary,
         engine_stats=eng.stats.as_dict(),
         details=details,
+        spec_digest=spec.digest(quick),
+        jobs_computed=computed,
+        jobs_replayed=replayed,
     )
 
 
@@ -128,8 +190,13 @@ def run_campaign(
     workers: Optional[int] = None,
     quick: bool = False,
     name: str = "podc13-reproduction",
+    store: StoreLike = None,
 ) -> CampaignReport:
-    """Execute a list of scenarios (default: the whole bundle) into one report."""
+    """Execute a list of scenarios (default: the whole bundle) into one report.
+
+    ``store`` opens (or reuses) one verdict store shared by every scenario
+    of the campaign, so both cross-run *and* cross-scenario repeats replay.
+    """
     chosen: List[ScenarioSpec] = [
         get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
     ]
@@ -137,17 +204,112 @@ def run_campaign(
         getattr(engine, "name", "per-scenario") if engine is not None else "per-scenario"
     )
     report = CampaignReport(name=name, engine=str(engine_label), quick=quick)
-    for spec in chosen:
-        report.results.append(run_scenario(spec, engine=engine, workers=workers, quick=quick))
+    verdict_store, owns_store = _resolve_store(store)
+    try:
+        for spec in chosen:
+            report.results.append(
+                run_scenario(spec, engine=engine, workers=workers, quick=quick, store=verdict_store)
+            )
+    finally:
+        if owns_store and verdict_store is not None:
+            verdict_store.close()
     return report
 
 
-def write_report(report: CampaignReport, path: Union[str, Path, None] = None) -> Path:
-    """Serialise a campaign report to JSON and return the path written."""
+def resume_campaign(
+    report_path: Union[str, Path],
+    scenarios: Optional[Sequence[Union[ScenarioSpec, str]]] = None,
+    engine: EngineLike = None,
+    workers: Optional[int] = None,
+    quick: Optional[bool] = None,
+    store: StoreLike = None,
+) -> Tuple[CampaignReport, int]:
+    """Re-run only the missing/stale scenarios of an existing report.
+
+    The report at ``report_path`` is loaded and, for every requested
+    scenario (default: the whole bundle), its recorded result is carried
+    over unchanged when its ``spec_digest`` matches the current spec —
+    i.e. the scenario's workload has not changed since the verdict was
+    recorded.  Scenarios that are missing from the report, were recorded
+    under a different digest, or lack a verdict are re-run (through
+    ``store`` when given).  ``quick=None`` inherits the original report's
+    mode, so a resumed campaign stays comparable with itself.
+
+    Returns the merged report and the number of scenarios reused.
+    """
+    path = Path(report_path)
+    payload = json.loads(path.read_text())
+    previous = CampaignReport.from_dict(payload)
+    if quick is None:
+        quick = previous.quick
+    by_name: Dict[str, ScenarioResult] = {r.name: r for r in previous.results}
+    chosen: List[ScenarioSpec] = [
+        get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
+    ]
+    merged = CampaignReport(name=previous.name, engine=previous.engine, quick=quick)
+    verdict_store, owns_store = _resolve_store(store)
+    reused = 0
+    try:
+        for spec in chosen:
+            old = by_name.get(spec.name)
+            # Reuse only when the recorded digest matches the current spec
+            # AND the record actually carries a verdict (a summary written
+            # by a completed run); anything else is stale and re-runs.
+            if (
+                old is not None
+                and old.spec_digest
+                and old.spec_digest == spec.digest(quick)
+                and old.summary
+            ):
+                old.resumed = True
+                merged.results.append(old)
+                reused += 1
+                continue
+            merged.results.append(
+                run_scenario(spec, engine=engine, workers=workers, quick=quick, store=verdict_store)
+            )
+    finally:
+        if owns_store and verdict_store is not None:
+            verdict_store.close()
+    # Results present in the old report but outside the requested scenario
+    # list are preserved, so a partial resume never drops history.
+    requested = {spec.name for spec in chosen}
+    for result in previous.results:
+        if result.name not in requested:
+            merged.results.append(result)
+    return merged, reused
+
+
+def write_report(
+    report: CampaignReport,
+    path: Union[str, Path, None] = None,
+    now: Optional[int] = None,
+) -> Path:
+    """Serialise a campaign report to JSON atomically and return the path written.
+
+    The payload is written to a temporary file in the target directory and
+    moved into place with :func:`os.replace`, so an interrupted campaign
+    (or a killed CI job) can never truncate an existing report.  ``now``
+    injects the ``recorded_at_unix`` timestamp for tests; it defaults to
+    the current time.
+    """
     path = Path(path) if path is not None else DEFAULT_REPORT_PATH
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = report.as_dict()
     payload["python"] = sys.version.split()[0]
-    payload["recorded_at_unix"] = int(time.time())
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload["recorded_at_unix"] = int(time.time()) if now is None else int(now)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path

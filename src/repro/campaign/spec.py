@@ -27,10 +27,12 @@ report.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..decision.property import InstanceFamily, Property
+from ..engine.persistent import _code_token
 from ..graphs.identifiers import IdAssignment, IdentifierSpace
 from ..graphs.labelled_graph import LabelledGraph
 
@@ -91,6 +93,34 @@ class ScenarioSpec:
         """Monte-Carlo trials per instance, reduced under ``--quick``."""
         return min(self.trials, self.quick_trials) if quick else self.trials
 
+    def digest(self, quick: bool) -> str:
+        """Stable digest of everything that determines this scenario's workload.
+
+        Covers the declarative axes *as effective for the given mode* (the
+        quick ladder under ``--quick``), the expected verdict, and the code
+        of the ``build`` callable — so editing a scenario's construction,
+        sizes or sampling invalidates previously recorded results, which is
+        what ``--resume`` uses to decide what must be re-run.
+        """
+        parts = [
+            self.name,
+            self.section,
+            self.kind,
+            self.graph_family,
+            self.property_name,
+            self.decider_name,
+            repr(self.ladder(quick)),
+            repr(self.samples),
+            repr(self.trial_count(quick)),
+            repr(self.expect_correct),
+            _code_token(self.build),
+        ]
+        digest = hashlib.sha256()
+        for part in parts:
+            digest.update(part.encode("utf-8", "backslashreplace"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
     def as_row(self) -> List[str]:
         """The ``--list`` table row."""
         return [
@@ -105,7 +135,14 @@ class ScenarioSpec:
 
 @dataclass
 class ScenarioResult:
-    """Outcome of running one scenario: verdicts, timings and engine statistics."""
+    """Outcome of running one scenario: verdicts, timings and engine statistics.
+
+    ``spec_digest`` records the digest of the spec that produced the
+    result (used by ``--resume`` for staleness detection);
+    ``jobs_replayed`` / ``jobs_computed`` split the scenario's jobs
+    between verdict-store replay and fresh computation; ``resumed`` marks
+    results carried over unchanged from a previous report.
+    """
 
     name: str
     section: str
@@ -119,6 +156,10 @@ class ScenarioResult:
     summary: str
     engine_stats: Dict[str, int] = field(default_factory=dict)
     details: Dict[str, Any] = field(default_factory=dict)
+    spec_digest: str = ""
+    jobs_computed: int = 0
+    jobs_replayed: int = 0
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -140,7 +181,33 @@ class ScenarioResult:
             "summary": self.summary,
             "engine_stats": dict(self.engine_stats),
             "details": self.details,
+            "spec_digest": self.spec_digest,
+            "jobs_computed": self.jobs_computed,
+            "jobs_replayed": self.jobs_replayed,
+            "resumed": self.resumed,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from its JSON record (tolerates older reports)."""
+        return cls(
+            name=payload["name"],
+            section=payload.get("section", ""),
+            kind=payload.get("kind", ""),
+            engine=payload.get("engine", ""),
+            seconds=float(payload.get("seconds", 0.0)),
+            observed_correct=bool(payload.get("observed_correct", False)),
+            expected_correct=bool(payload.get("expected_correct", True)),
+            instances=int(payload.get("instances", 0)),
+            sweeps=int(payload.get("sweeps", 0)),
+            summary=payload.get("summary", ""),
+            engine_stats=dict(payload.get("engine_stats", {})),
+            details=dict(payload.get("details", {})),
+            spec_digest=payload.get("spec_digest", ""),
+            jobs_computed=int(payload.get("jobs_computed", 0)),
+            jobs_replayed=int(payload.get("jobs_replayed", 0)),
+            resumed=bool(payload.get("resumed", False)),
+        )
 
 
 @dataclass
@@ -157,14 +224,36 @@ class CampaignReport:
         """``True`` when every scenario behaved as expected."""
         return all(r.ok for r in self.results)
 
+    @property
+    def jobs_replayed(self) -> int:
+        """Total jobs replayed from a verdict store across all scenarios."""
+        return sum(r.jobs_replayed for r in self.results)
+
+    @property
+    def jobs_computed(self) -> int:
+        """Total jobs freshly computed across all scenarios."""
+        return sum(r.jobs_computed for r in self.results)
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "campaign": self.name,
             "engine": self.engine,
             "quick": self.quick,
             "ok": self.ok,
+            "jobs_computed": self.jobs_computed,
+            "jobs_replayed": self.jobs_replayed,
             "scenarios": [r.as_dict() for r in self.results],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignReport":
+        """Rebuild a report from its JSON record (used by ``--resume``)."""
+        return cls(
+            name=payload.get("campaign", "campaign"),
+            engine=payload.get("engine", "per-scenario"),
+            quick=bool(payload.get("quick", False)),
+            results=[ScenarioResult.from_dict(s) for s in payload.get("scenarios", [])],
+        )
 
     def summary_table(self) -> str:
         """Aligned text table of all scenario outcomes."""
@@ -178,13 +267,14 @@ class CampaignReport:
                 f"{r.seconds:.3f}s",
                 r.instances,
                 r.sweeps,
+                "resumed" if r.resumed else f"{r.jobs_replayed}/{r.jobs_replayed + r.jobs_computed}",
                 "ok" if r.ok else "UNEXPECTED",
                 r.summary,
             ]
             for r in self.results
         ]
         return format_table(
-            ["scenario", "kind", "engine", "time", "instances", "sweeps", "status", "summary"],
+            ["scenario", "kind", "engine", "time", "instances", "sweeps", "replayed", "status", "summary"],
             rows,
             title=f"campaign {self.name!r} ({'quick' if self.quick else 'full'})",
         )

@@ -148,12 +148,20 @@ class CounterExample:
 
 @dataclass
 class VerificationReport:
-    """Aggregate result of verifying a decider on an instance family."""
+    """Aggregate result of verifying a decider on an instance family.
+
+    ``jobs_computed`` / ``jobs_replayed`` split the sweep's jobs between
+    fresh evaluation and replay from a cross-run verdict store (see
+    :class:`~repro.engine.persistent.PersistentEngine`); without a store
+    every job counts as computed.
+    """
 
     algorithm_name: str
     family_name: str
     instances_checked: int = 0
     assignments_checked: int = 0
+    jobs_computed: int = 0
+    jobs_replayed: int = 0
     counter_examples: List[CounterExample] = field(default_factory=list)
 
     @property
@@ -173,6 +181,8 @@ class VerificationReport:
             f"{self.algorithm_name} on {self.family_name}: {status} "
             f"[{self.instances_checked} instances x {self.assignments_checked} id-assignments]"
         )
+        if self.jobs_replayed:
+            line += f" ({self.jobs_replayed} replayed / {self.jobs_computed} computed)"
         if not self.correct:
             line += f"; first: {self.first_counterexample.describe()}"
         return line
@@ -185,6 +195,8 @@ class VerificationReport:
             "family": self.family_name,
             "instances_checked": self.instances_checked,
             "assignments_checked": self.assignments_checked,
+            "jobs_computed": self.jobs_computed,
+            "jobs_replayed": self.jobs_replayed,
             "correct": self.correct,
             "counter_examples": len(self.counter_examples),
             "first_counterexample": None if first is None else first.as_dict(),
@@ -266,10 +278,28 @@ def verify_decider(
     memo stores, and the :class:`~repro.engine.parallel.ParallelEngine`
     shards the grid across its worker pool (per whole family, or per
     instance when ``stop_at_first_failure`` limits how much work may run).
+    An engine wrapped in a cross-run verdict store
+    (``engine.with_store(path)``) replays already-settled jobs from disk
+    and only fans out the misses; the report's ``jobs_replayed`` /
+    ``jobs_computed`` fields record that split.
     """
     family = family or InstanceFamily.from_property(prop)
     engine = resolve_engine(engine)
     report = VerificationReport(algorithm_name=algorithm.name, family_name=family.name)
+    # Snapshot the engine's store counters so the report can attribute this
+    # sweep's jobs to replay vs fresh computation (zero/zero for storeless
+    # engines, in which case every checked assignment counts as computed).
+    before_replayed = engine.stats.extra.get("store_replayed", 0)
+    before_computed = engine.stats.extra.get("store_computed", 0)
+
+    def _finalise() -> VerificationReport:
+        replayed = engine.stats.extra.get("store_replayed", 0) - before_replayed
+        computed = engine.stats.extra.get("store_computed", 0) - before_computed
+        if replayed or computed:
+            report.jobs_replayed, report.jobs_computed = replayed, computed
+        else:
+            report.jobs_computed = report.assignments_checked
+        return report
 
     def _assignments(graph: LabelledGraph) -> List[IdAssignment]:
         if assignments_factory is not None:
@@ -310,8 +340,8 @@ def verify_decider(
             assignments = _assignments(graph)
             outputs_list = engine.run_many(algorithm, [(graph, ids) for ids in assignments])
             if _scan(graph, expected, assignments, outputs_list):
-                return report
-        return report
+                return _finalise()
+        return _finalise()
 
     # One batch over the whole (instance x assignment) grid: maximal fan-out
     # for sharding backends, identical verdict order for serial ones.
@@ -327,4 +357,4 @@ def verify_decider(
         report.instances_checked += 1
         _scan(graph, expected, assignments, outputs_list[cursor : cursor + len(assignments)])
         cursor += len(assignments)
-    return report
+    return _finalise()

@@ -41,23 +41,42 @@ __all__ = [
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
-    """Return the Wilson score confidence interval for a binomial proportion."""
+    """Return the Wilson score confidence interval for a binomial proportion.
+
+    ``z`` must be a positive finite critical value; the returned interval
+    is clamped to ``[0, 1]`` (the raw upper bound can exceed 1.0 in
+    floating point for proportions near 1).
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not math.isfinite(z) or z <= 0:
+        raise ValueError(f"z must be a positive finite critical value, got {z!r}")
     if trials == 0:
         return (0.0, 1.0)
     phat = successes / trials
     denom = 1.0 + z * z / trials
     centre = phat + z * z / (2 * trials)
     margin = z * math.sqrt(phat * (1.0 - phat) / trials + z * z / (4 * trials * trials))
-    return ((centre - margin) / denom, (centre + margin) / denom)
+    return (
+        max(0.0, (centre - margin) / denom),
+        min(1.0, (centre + margin) / denom),
+    )
 
 
 @dataclass
 class AcceptanceEstimate:
-    """Monte-Carlo estimate of the probability that a randomised decider accepts one input."""
+    """Monte-Carlo estimate of the probability that a randomised decider accepts one input.
+
+    ``trials_replayed`` / ``trials_computed`` split the trials between
+    replay from a cross-run verdict store and fresh simulation (all
+    computed when the engine has no store).
+    """
 
     instance_nodes: int
     trials: int
     accepts: int
+    trials_computed: int = 0
+    trials_replayed: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -114,10 +133,22 @@ def estimate_acceptance_probability(
     """
     engine = resolve_engine(engine)
     rng = random.Random(seed)
+    before_replayed = engine.stats.extra.get("store_replayed", 0)
+    before_computed = engine.stats.extra.get("store_computed", 0)
     jobs = [(graph, ids, rng.randrange(2**62)) for _ in range(trials)]
     outputs_list = engine.run_randomised_many(algorithm, jobs)
     accepts = sum(1 for outputs in outputs_list if _accepts(outputs))
-    return AcceptanceEstimate(instance_nodes=graph.num_nodes(), trials=trials, accepts=accepts)
+    replayed = engine.stats.extra.get("store_replayed", 0) - before_replayed
+    computed = engine.stats.extra.get("store_computed", 0) - before_computed
+    if not (replayed or computed):
+        computed = trials
+    return AcceptanceEstimate(
+        instance_nodes=graph.num_nodes(),
+        trials=trials,
+        accepts=accepts,
+        trials_computed=computed,
+        trials_replayed=replayed,
+    )
 
 
 @dataclass
@@ -149,6 +180,16 @@ class PQDeciderReport:
             self.worst_yes_acceptance >= self.target_p - 1e-12
             and self.worst_no_rejection >= self.target_q - 1e-12
         )
+
+    @property
+    def trials_replayed(self) -> int:
+        """Total trials replayed from a cross-run verdict store."""
+        return sum(e.trials_replayed for e in self.yes_estimates + self.no_estimates)
+
+    @property
+    def trials_computed(self) -> int:
+        """Total trials freshly simulated."""
+        return sum(e.trials_computed for e in self.yes_estimates + self.no_estimates)
 
     def summary(self) -> str:
         """One-line human-readable summary."""

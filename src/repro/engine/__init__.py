@@ -11,7 +11,11 @@
   evaluation per ``(algorithm, view key)``;
 * :class:`~repro.engine.parallel.ParallelEngine` — sweep sharding across a
   ``multiprocessing`` pool of per-worker caching engines with deterministic
-  work partitioning.
+  work partitioning;
+* :class:`~repro.engine.persistent.PersistentEngine` — cross-run
+  persistence: wraps any backend (``engine.with_store(path)``) with an
+  on-disk :class:`~repro.engine.persistent.VerdictStore` so settled jobs
+  are replayed instead of recomputed across campaigns and CI runs.
 
 ``engine=`` arguments across the package accept an instance, a backend name
 (``"direct"`` / ``"synchronous"`` / ``"cached"`` / ``"parallel"``) or
@@ -30,6 +34,13 @@ from .base import (
 from .cached import CachedEngine
 from .direct import DirectEngine
 from .parallel import ParallelEngine, partition_chunks
+from .persistent import (
+    PersistentEngine,
+    StoreCorruptionWarning,
+    VerdictStore,
+    algorithm_fingerprint,
+    job_digest,
+)
 from .store import LRUStore
 from .synchronous import SynchronousEngine
 
@@ -44,6 +55,11 @@ __all__ = [
     "SynchronousEngine",
     "CachedEngine",
     "ParallelEngine",
+    "PersistentEngine",
+    "VerdictStore",
+    "StoreCorruptionWarning",
+    "algorithm_fingerprint",
+    "job_digest",
     "partition_chunks",
     "LRUStore",
 ]

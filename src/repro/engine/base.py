@@ -249,6 +249,23 @@ class ExecutionEngine(ABC):
         """
         return [self.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs]
 
+    # ------------------------------------------------------------------ #
+    # Cross-run persistence seam
+    # ------------------------------------------------------------------ #
+
+    def with_store(self, store) -> "ExecutionEngine":
+        """Return this engine wrapped in a cross-run persistent verdict store.
+
+        ``store`` is a directory path or an open
+        :class:`~repro.engine.persistent.VerdictStore`.  The wrapper
+        replays whole jobs whose digest is already settled on disk and
+        delegates only the misses to this engine; see
+        :class:`~repro.engine.persistent.PersistentEngine`.
+        """
+        from .persistent import PersistentEngine
+
+        return PersistentEngine(store, inner=self)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -242,6 +242,10 @@ class ParallelEngine(ExecutionEngine):
         pool could not be created (the caller then falls back to serial
         execution).
         """
+        if not payload.chunks:
+            # An empty batch must never publish a payload or build a pool
+            # (``Pool(processes=0)`` raises); there is simply nothing to do.
+            return []
         global _PAYLOAD
         ctx = multiprocessing.get_context("fork")
         _PAYLOAD = payload
@@ -286,6 +290,8 @@ class ParallelEngine(ExecutionEngine):
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
+        if not chosen:
+            return {}
         use_ids = self._ids_for(algorithm, ids)
         if len(chosen) < self.min_parallel_nodes or not self._can_fork():
             # Preserve nodes=None so the inner engine's whole-run memo applies.
@@ -315,6 +321,8 @@ class ParallelEngine(ExecutionEngine):
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
+        if not chosen:
+            return {}
         use_ids = self._ids_for(algorithm, ids)
         base = seed if seed is not None else random.randrange(2**63)
         if len(chosen) < self.min_parallel_nodes or not self._can_fork():
@@ -342,6 +350,8 @@ class ParallelEngine(ExecutionEngine):
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
     ) -> List[Dict[Node, Hashable]]:
         jobs = list(jobs)
+        if not jobs:
+            return []
         if len(jobs) < self.min_parallel_jobs or not self._can_fork():
             return [self._inner.run(algorithm, graph, ids) for graph, ids in jobs]
         payload = _Payload(
@@ -361,6 +371,8 @@ class ParallelEngine(ExecutionEngine):
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
     ) -> List[Dict[Node, Hashable]]:
         jobs = list(jobs)
+        if not jobs:
+            return []
         if len(jobs) < self.min_parallel_jobs or not self._can_fork():
             return [
                 self._inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs

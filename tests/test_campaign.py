@@ -11,6 +11,7 @@ from repro.campaign import (
     CampaignReport,
     bundled_scenarios,
     get_scenario,
+    resume_campaign,
     run_campaign,
     run_scenario,
     scenario_names,
@@ -156,9 +157,15 @@ def test_cli_rejects_unknown_scenario():
         campaign_main(["definitely-not-a-scenario", "--no-report"])
 
 
-def test_cli_rejects_workers_without_parallel_engine():
+def test_cli_rejects_workers_with_non_parallel_engine():
     with pytest.raises(SystemExit):
-        campaign_main(["classic-colouring", "--workers", "2", "--no-report"])
+        campaign_main(["classic-colouring", "--engine", "cached", "--workers", "2", "--no-report"])
+
+
+def test_cli_workers_alone_implies_parallel_engine(capsys):
+    code = campaign_main(["classic-cycles-vs-paths", "--quick", "--workers", "2", "--no-report"])
+    assert code == 0
+    assert "campaign OK" in capsys.readouterr().out
 
 
 def test_runner_rejects_workers_for_non_parallel_engine():
@@ -199,3 +206,163 @@ def test_regression_gate_max_drop(tmp_path):
     proc = _gate(tmp_path, 20.0, 4.0, "--max-drop", "0.5")
     assert proc.returncode == 1
     assert "dropped more than" in proc.stdout
+
+
+@pytest.mark.parametrize("bad_baseline", [0.0, -2.5, float("nan")])
+def test_regression_gate_rejects_unusable_baseline(tmp_path, bad_baseline):
+    # A zero/negative/NaN baseline used to turn --max-drop into a vacuous
+    # ratio = inf comparison and pass silently; it must exit 2 with a
+    # clear message instead.
+    proc = _gate(tmp_path, bad_baseline, 8.0, "--max-drop", "0.5")
+    assert proc.returncode == 2
+    assert "INVALID" in proc.stderr
+    assert "positive finite speedup" in proc.stderr
+
+
+def test_regression_gate_rejects_unusable_fresh_record(tmp_path):
+    proc = _gate(tmp_path, 10.0, float("nan"))
+    assert proc.returncode == 2
+    assert "fresh record" in proc.stderr
+
+
+def test_regression_gate_rejects_missing_key(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    fresh = tmp_path / "fresh.json"
+    baseline.write_text(json.dumps({"something_else": 1.0}))
+    fresh.write_text(json.dumps({"speedup_direct_over_cached": 8.0}))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "check_regression.py"), str(baseline), str(fresh)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 2
+    assert "missing" in proc.stderr
+
+
+# ---------------------------------------------------------------------- #
+# Persistence: --store replay, --resume merge, atomic report writes
+# ---------------------------------------------------------------------- #
+
+
+def test_atomic_write_report_with_injectable_timestamp(tmp_path):
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="atomic")
+    path = write_report(report, tmp_path / "campaign.json", now=1234567890)
+    payload = json.loads(path.read_text())
+    assert payload["recorded_at_unix"] == 1234567890
+    # No temporary files are left behind by the temp-file + os.replace dance.
+    assert [p.name for p in tmp_path.iterdir()] == ["campaign.json"]
+    # Overwriting an existing report goes through the same atomic path.
+    write_report(report, path, now=1234567891)
+    assert json.loads(path.read_text())["recorded_at_unix"] == 1234567891
+
+
+def test_campaign_store_replays_second_run(tmp_path):
+    store = tmp_path / "verdicts"
+    cold = run_campaign(SMOKE, engine="cached", quick=True, name="cold", store=store)
+    warm = run_campaign(SMOKE, engine="cached", quick=True, name="warm", store=store)
+    assert cold.ok and warm.ok
+    assert cold.jobs_replayed == 0 and cold.jobs_computed > 0
+    assert warm.jobs_computed == 0 and warm.jobs_replayed == cold.jobs_computed
+    for c, w in zip(cold.results, warm.results):
+        assert c.observed_correct == w.observed_correct
+        assert c.sweeps == w.sweeps
+        assert w.engine == "persistent"
+
+
+def test_scenario_spec_digest_stability_and_sensitivity():
+    spec = get_scenario("classic-cycles-vs-paths")
+    assert spec.digest(quick=True) == spec.digest(quick=True)
+    # quick and full ladders differ, so their digests must differ.
+    assert spec.digest(quick=True) != spec.digest(quick=False)
+    assert spec.digest(True) != get_scenario("classic-colouring").digest(True)
+
+
+def test_resume_campaign_reuses_fresh_and_reruns_stale(tmp_path):
+    report_path = tmp_path / "report.json"
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="resumable")
+    write_report(report, report_path)
+
+    # Nothing changed: every requested scenario is reused verbatim.
+    merged, reused = resume_campaign(report_path, scenarios=SMOKE, engine="cached")
+    assert reused == len(SMOKE)
+    assert all(r.resumed for r in merged.results)
+    assert merged.ok
+
+    # Corrupt one scenario's digest (simulating an edited spec): only that
+    # scenario is re-run, and the merged report carries a fresh verdict.
+    payload = json.loads(report_path.read_text())
+    payload["scenarios"][0]["spec_digest"] = "stale"
+    report_path.write_text(json.dumps(payload))
+    merged, reused = resume_campaign(report_path, scenarios=SMOKE, engine="cached")
+    assert reused == len(SMOKE) - 1
+    rerun = [r for r in merged.results if not r.resumed]
+    assert [r.name for r in rerun] == [payload["scenarios"][0]["name"]]
+    assert merged.ok
+
+
+def test_resume_preserves_unrequested_history(tmp_path):
+    report_path = tmp_path / "report.json"
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="history")
+    write_report(report, report_path)
+    merged, reused = resume_campaign(report_path, scenarios=SMOKE[:1], engine="cached")
+    assert reused == 1
+    assert {r.name for r in merged.results} == set(SMOKE)
+
+
+def test_cli_store_and_min_replayed_gate(tmp_path, capsys):
+    store = str(tmp_path / "verdicts")
+    out1 = str(tmp_path / "r1.json")
+    out2 = str(tmp_path / "r2.json")
+    # Cold run cannot meet a replay floor...
+    code = campaign_main(
+        ["classic-cycles-vs-paths", "--quick", "--store", store, "--min-replayed", "0.9", "--output", out1]
+    )
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+    # ...the warm run replays everything and passes it.
+    code = campaign_main(
+        ["classic-cycles-vs-paths", "--quick", "--store", store, "--min-replayed", "0.9", "--output", out2]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "store replay:" in out and "campaign OK" in out
+    # Verdicts of the two runs are identical.
+    s1 = json.loads(Path(out1).read_text())["scenarios"]
+    s2 = json.loads(Path(out2).read_text())["scenarios"]
+    for a, b in zip(s1, s2):
+        assert a["observed_correct"] == b["observed_correct"]
+        assert a["sweeps"] == b["sweeps"]
+
+
+def test_cli_min_replayed_requires_store():
+    with pytest.raises(SystemExit):
+        campaign_main(["classic-cycles-vs-paths", "--min-replayed", "0.5", "--no-report"])
+
+
+def test_cli_min_replayed_ignores_resumed_scenarios(tmp_path, capsys):
+    # A fully-reused resume recomputes nothing; the replay gate must judge
+    # only what this invocation ran (here: nothing), not stale counters.
+    store = str(tmp_path / "verdicts")
+    report_path = tmp_path / "report.json"
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="warm-resume", store=store)
+    write_report(report, report_path)
+    code = campaign_main(
+        ["--resume", str(report_path), *SMOKE, "--engine", "cached", "--store", store,
+         "--min-replayed", "0.9", "--no-report"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "resumed scenario(s) excluded" in out
+
+
+def test_cli_resume_writes_back_to_resume_path(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    report = run_campaign(SMOKE, engine="cached", quick=True, name="cli-resume")
+    write_report(report, report_path, now=1)
+    code = campaign_main(["--resume", str(report_path), *SMOKE, "--engine", "cached"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert f"resumed from {report_path}" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["recorded_at_unix"] != 1  # merged report was written back
+    assert all(s["resumed"] for s in payload["scenarios"] if s["name"] in SMOKE)

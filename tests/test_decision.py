@@ -162,6 +162,23 @@ def test_audit_order_invariance():
     assert not audit_order_invariance(numeric, g, identifier_pool=range(15)).invariant
 
 
+def test_wilson_interval_validates_and_clamps():
+    # Invalid critical values are an explicit error, not a ZeroDivisionError
+    # (or a silently nonsensical interval).
+    for bad_z in (0.0, -1.96, float("nan"), float("inf")):
+        with pytest.raises(ValueError, match="z must be"):
+            wilson_interval(5, 10, z=bad_z)
+    with pytest.raises(ValueError, match="trials"):
+        wilson_interval(0, -1)
+    # The interval is clamped to [0, 1]: near phat = 1 the raw upper bound
+    # can exceed 1.0 in floating point.
+    for successes, trials in [(0, 7), (7, 7), (999_999, 1_000_000), (1, 3)]:
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+    low, high = wilson_interval(10, 10, z=1e-9)
+    assert high <= 1.0
+
+
 def test_wilson_interval_and_pq_evaluation():
     low, high = wilson_interval(90, 100)
     assert 0.8 < low < 0.9 < high <= 1.0

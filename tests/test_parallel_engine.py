@@ -205,6 +205,36 @@ def test_stats_are_exact_even_when_a_worker_takes_several_chunks():
         assert engine.stats.nodes_run == 16 * 12
 
 
+def test_empty_sweeps_short_circuit_without_forking():
+    # partition_chunks(0, k) is [] — an empty batch must not publish a
+    # payload or build a pool (Pool(processes=0) raises), even when the
+    # parallelism thresholds would otherwise send it to the pool path.
+    import repro.engine.parallel as parallel_mod
+
+    engine = ParallelEngine(workers=3, min_parallel_jobs=0, min_parallel_nodes=0)
+    assert engine.run_many(_cycle_decider(), []) == []
+    assert engine.run_randomised_many(_coin_decider(), []) == []
+    empty = InstanceFamily(name="empty", yes_instances=[], no_instances=[])
+    report = verify_decider(_cycle_decider(), _cycle_property(), family=empty, engine=engine)
+    assert report.correct and report.instances_checked == 0
+    assert "parallel_batches" not in engine.stats.extra
+    assert parallel_mod._PAYLOAD is None
+
+
+def test_payload_is_reset_after_each_batch():
+    # The module-global payload must never leak between batches: a stale
+    # payload would let a later (mis-sequenced) worker evaluate yesterday's
+    # jobs.  _fan_out resets it in a finally.
+    import repro.engine.parallel as parallel_mod
+
+    engine = _parallel(2)
+    graphs = [cycle_graph(12, label="x") for _ in range(4)]
+    outputs = engine.run_many(_cycle_decider(), [(g, None) for g in graphs])
+    assert len(outputs) == 4
+    assert engine.stats.extra.get("parallel_batches", 0) >= 1
+    assert parallel_mod._PAYLOAD is None
+
+
 def test_one_worker_pool_is_serial_but_equivalent():
     graph = cycle_graph(32, label="x")
     engine = _parallel(1)
