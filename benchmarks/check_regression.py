@@ -1,19 +1,25 @@
-"""Benchmark-regression gate for the engine speedup record.
+"""Benchmark-regression gate for speedup records.
 
-Compares a freshly measured ``BENCH_engines.json`` against the committed
-baseline and fails (exit 1) when the CachedEngine speedup over the direct
-backend drops below the acceptance floor.  CI runs this after re-running
-``benchmarks/test_bench_engines.py``::
+Compares a freshly measured benchmark record against the committed
+baseline and fails (exit 1) when the record's speedup drops below the
+acceptance floor.  ``--key`` selects which speedup the record carries:
+the default gates the CachedEngine-vs-direct record
+(``BENCH_engines.json``), and CI also gates the adversarial-search record
+(``BENCH_adversary.json``, key ``speedup_exhaustive_over_guided``)::
 
     cp benchmarks/BENCH_engines.json /tmp/baseline.json        # committed record
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engines.py -q
     python benchmarks/check_regression.py /tmp/baseline.json benchmarks/BENCH_engines.json
 
-The floor (default 3x) matches the assertion inside the benchmark itself;
-the gate exists so the comparison against the committed trajectory is an
-explicit, artifact-producing CI step rather than a side effect of the test
-run, and so ``--max-drop`` can additionally flag large relative regressions
-against the baseline.
+    python benchmarks/check_regression.py \\
+        /tmp/BENCH_adversary.baseline.json benchmarks/BENCH_adversary.json \\
+        --key speedup_exhaustive_over_guided --min-speedup 2.0
+
+The default floor (3x) matches the assertion inside the engine benchmark
+itself; the gate exists so the comparison against the committed trajectory
+is an explicit, artifact-producing CI step rather than a side effect of the
+test run, and so ``--max-drop`` can additionally flag large relative
+regressions against the baseline.
 
 Exit codes: 0 = no regression, 1 = regression detected, 2 = a record is
 unusable (missing/zero/negative/NaN speedup) — an unusable baseline fails
@@ -34,7 +40,7 @@ SPEEDUP_KEY = "speedup_direct_over_cached"
 EXIT_INVALID_RECORD = 2
 
 
-def load_speedup(path: Path, role: str) -> float:
+def load_speedup(path: Path, role: str, key: str = SPEEDUP_KEY) -> float:
     """Load and validate one record's speedup; exit 2 on an unusable value.
 
     A zero, negative or non-finite speedup can only come from a broken
@@ -45,20 +51,20 @@ def load_speedup(path: Path, role: str) -> float:
     """
     payload = json.loads(path.read_text())
     try:
-        speedup = float(payload[SPEEDUP_KEY])
+        speedup = float(payload[key])
     except KeyError:
-        print(f"INVALID: {role} record {path}: missing {SPEEDUP_KEY!r} key", file=sys.stderr)
+        print(f"INVALID: {role} record {path}: missing {key!r} key", file=sys.stderr)
         raise SystemExit(EXIT_INVALID_RECORD) from None
     except (TypeError, ValueError):
         print(
-            f"INVALID: {role} record {path}: {SPEEDUP_KEY!r} is not a number "
-            f"({payload.get(SPEEDUP_KEY)!r})",
+            f"INVALID: {role} record {path}: {key!r} is not a number "
+            f"({payload.get(key)!r})",
             file=sys.stderr,
         )
         raise SystemExit(EXIT_INVALID_RECORD) from None
     if not math.isfinite(speedup) or speedup <= 0:
         print(
-            f"INVALID: {role} record {path}: {SPEEDUP_KEY} = {speedup!r} is not a "
+            f"INVALID: {role} record {path}: {key} = {speedup!r} is not a "
             "positive finite speedup; the gate cannot compare against it "
             "(re-measure the benchmark instead of passing vacuously)",
             file=sys.stderr,
@@ -75,7 +81,13 @@ def main(argv=None) -> int:
         "--min-speedup",
         type=float,
         default=3.0,
-        help="hard floor on the fresh CachedEngine speedup (default: 3.0)",
+        help="hard floor on the fresh speedup (default: 3.0)",
+    )
+    parser.add_argument(
+        "--key",
+        default=SPEEDUP_KEY,
+        metavar="KEY",
+        help=f"record key holding the gated speedup (default: {SPEEDUP_KEY!r})",
     )
     parser.add_argument(
         "--max-drop",
@@ -87,11 +99,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_speedup(args.baseline, "baseline")
-    fresh = load_speedup(args.fresh, "fresh")
+    baseline = load_speedup(args.baseline, "baseline", args.key)
+    fresh = load_speedup(args.fresh, "fresh", args.key)
     ratio = fresh / baseline
     print(
-        f"CachedEngine speedup: baseline {baseline:.2f}x, fresh {fresh:.2f}x "
+        f"{args.key}: baseline {baseline:.2f}x, fresh {fresh:.2f}x "
         f"({ratio:.2f}x of baseline); floor {args.min_speedup:.2f}x"
     )
 

@@ -11,6 +11,10 @@ The package is organised as follows:
   evaluation, synchronous message passing, batched+memoised caching,
   multiprocess parallel sharding) that every execution path routes through
   via ``engine=`` arguments;
+* :mod:`repro.adversary` — guided adversarial search for identifier
+  assignments defeating candidate deciders (seedable strategies, the
+  batched ``find_counterexample`` driver, delta-debugging shrinking to
+  minimal witnesses, and the ``python -m repro.adversary`` CLI);
 * :mod:`repro.campaign` — declarative experiment campaigns: scenario specs
   over the paper's constructions, a runner collecting verdicts / timings /
   engine statistics into JSON reports, and the ``python -m repro.campaign``
@@ -28,7 +32,8 @@ The package is organised as follows:
   impossibility arguments), experiment records and report formatting.
 """
 
-from . import decision, engine, graphs, local_model
+from . import adversary, decision, engine, graphs, local_model
+from .adversary import MinimalCounterExample, find_counterexample, shrink_counterexample
 from .decision import Property, decide
 from .engine import (
     CachedEngine,
@@ -43,13 +48,17 @@ from .engine import (
 from .graphs import IdAssignment, LabelledGraph
 from .local_model import NO, YES, Verdict
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "graphs",
     "local_model",
     "engine",
     "decision",
+    "adversary",
+    "find_counterexample",
+    "shrink_counterexample",
+    "MinimalCounterExample",
     "ExecutionEngine",
     "DirectEngine",
     "SynchronousEngine",

@@ -1,0 +1,82 @@
+"""Candidate deciders whose defeat must be *found*, not assumed.
+
+The bundled ``expect_correct=False`` scenarios before this subsystem were
+defeated by *every* assignment (an Id-oblivious candidate is equally wrong
+under all of them), so exhibiting the failure was trivial.  The candidates
+here are identifier-*dependent* traps: they decide their property correctly
+on yes-instances and on almost every assignment of the no-instances, and
+are wrong only in an exponentially small corner of the assignment space.
+Hunting that corner is exactly the adversarial-search workload — each trap
+leaks a per-node gradient (how many nodes already output the defeat-ward
+verdict) that :class:`~repro.adversary.strategies.HillClimbStrategy`
+climbs, while lexicographic exhaustive enumeration burns through the
+factorial bulk of harmless assignments first.
+
+Both traps are shaped like real verifier bugs: a structurally correct
+local check short-circuited by an identifier-based "who reports" rule that
+an adversarial assignment can starve of reporters.
+"""
+
+from __future__ import annotations
+
+from ..graphs.neighbourhood import Neighbourhood
+from ..local_model.algorithm import LocalAlgorithm
+from ..local_model.outputs import NO, YES, Verdict
+from ..properties.independent_set import IN_SET, OUT_SET
+
+__all__ = ["LazyGuardColouringDecider", "ParityAuditMISDecider"]
+
+
+class LazyGuardColouringDecider(LocalAlgorithm):
+    """Proper-colouring checker where only "guards" (small identifiers) report.
+
+    A node detects a colouring conflict exactly like the correct
+    :class:`~repro.properties.colouring.ProperColouringDecider`, but only
+    rejects when its own identifier is below ``guard_bound`` — the bogus
+    economy being "a small identifier is surely present somewhere".  On a
+    monochromatic no-instance the decider is defeated by precisely the
+    assignments that keep *every* identifier at or above the bound: the
+    number of accepting nodes (non-guards) is the hill-climbing gradient.
+    """
+
+    def __init__(self, colours: int, guard_bound: int) -> None:
+        super().__init__(radius=1, name=f"lazy-guard-colouring-{colours}<{guard_bound}")
+        self.colours = colours
+        self.guard_bound = guard_bound
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        mine = view.center_label()
+        conflict = not isinstance(mine, int) or not (0 <= mine < self.colours) or any(
+            view.label_of(u) == mine for u in view.nodes_at_distance(1)
+        )
+        if conflict and view.center_id() < self.guard_bound:
+            return NO
+        return YES
+
+
+class ParityAuditMISDecider(LocalAlgorithm):
+    """MIS checker where only odd-identifier "auditors" report violations.
+
+    The violation test matches the correct
+    :class:`~repro.properties.independent_set.MaximalIndependentSetDecider`;
+    the trap is that a violating node stays silent unless its identifier is
+    odd.  A no-instance therefore false-accepts exactly under the all-even
+    assignments, a ``1/2^n``-ish corner of the space with a smooth gradient
+    (the count of even-identifier nodes) for the mutation search to climb.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(radius=1, name="parity-audit-mis")
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        mine = view.center_label()
+        neighbour_labels = [view.label_of(u) for u in view.nodes_at_distance(1)]
+        if mine == IN_SET:
+            violation = IN_SET in neighbour_labels
+        elif mine == OUT_SET:
+            violation = IN_SET not in neighbour_labels
+        else:
+            violation = True
+        if violation and view.center_id() % 2 == 1:
+            return NO
+        return YES

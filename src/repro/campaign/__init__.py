@@ -10,7 +10,9 @@ execution engine — and runs whole grids in one go:
 * :mod:`repro.campaign.scenarios` — the bundled scenarios drawn from the
   paper's Sections 2-3 (promise cycles, layered-tree property P, the
   structure verifier, the halting promise, a defeated Id-oblivious
-  candidate, Corollary 1's randomised decider) plus classic properties;
+  candidate, Corollary 1's randomised decider), the classic properties
+  (colouring, matching, MIS, cycles-vs-paths), and the adversarial
+  ``search`` hunts over the :mod:`repro.adversary` trap candidates;
 * :mod:`repro.campaign.runner` — executes specs on any execution engine
   (including the :class:`~repro.engine.parallel.ParallelEngine`) and
   collects verdicts / timings / engine statistics into JSON reports under

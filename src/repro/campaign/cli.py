@@ -80,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="smaller size ladders and fewer Monte-Carlo trials"
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every scenario's sampling/search seed (default: each "
+        "spec's declared seed); the seed participates in spec digests, so "
+        "--resume never reuses results recorded under a different seed",
+    )
+    parser.add_argument(
         "--full",
         action="store_true",
         help="force the full ladders; with --resume this overrides the "
@@ -159,12 +168,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             quick=quick,
             store=args.store,
+            seed=args.seed,
         )
         print(f"resumed from {resume_path}: {reused} scenario(s) reused, "
               f"{len(names) - reused} re-run")
     else:
         report = run_campaign(
-            names, engine=args.engine, workers=args.workers, quick=args.quick, store=args.store
+            names,
+            engine=args.engine,
+            workers=args.workers,
+            quick=args.quick,
+            store=args.store,
+            seed=args.seed,
         )
     print(report.summary_table())
     for result in report.results:

@@ -25,6 +25,7 @@ Two incremental mechanisms make repeated campaigns cheap:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import sys
@@ -33,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..adversary.search import find_counterexample
 from ..decision.decider import verify_decider
 from ..decision.randomized import evaluate_pq_decider
 from ..engine.base import EngineLike, ExecutionEngine, resolve_engine
@@ -95,14 +97,20 @@ def run_scenario(
     workers: Optional[int] = None,
     quick: bool = False,
     store: StoreLike = None,
+    seed: Optional[int] = None,
 ) -> ScenarioResult:
     """Execute one scenario and return its result record.
 
     With ``store`` given, the scenario's engine is wrapped in the verdict
     store so already-settled jobs replay from disk; the result records how
-    many jobs were replayed vs computed.
+    many jobs were replayed vs computed.  ``seed`` overrides the spec's
+    declared sampling/search seed (the CLI's ``--seed``); it participates
+    in the spec digest, so results recorded under one seed never satisfy a
+    resume under another.
     """
     spec = get_scenario(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
+    if seed is not None and seed != spec.seed:
+        spec = dataclasses.replace(spec, seed=seed)
     eng = _engine_for(spec, engine, workers)
     verdict_store, owns_store = _resolve_store(store)
     if verdict_store is not None:
@@ -126,6 +134,7 @@ def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioR
             family=workload.family,
             id_space=workload.id_space,
             samples=spec.samples,
+            seed=spec.seed,
             assignments_factory=workload.assignments_factory,
             engine=eng,
         )
@@ -144,7 +153,7 @@ def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioR
             p=workload.target_p,
             q=workload.target_q,
             trials=trials,
-            seed=0,
+            seed=spec.seed,
             ids_factory=workload.ids_factory,
             engine=eng,
         )
@@ -163,6 +172,28 @@ def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioR
             "trials_computed": computed,
             "trials_replayed": replayed,
         }
+    elif spec.kind == "search":
+        outcome = find_counterexample(
+            workload.decider,
+            prop=workload.prop,
+            family=workload.family,
+            strategy=spec.strategy,
+            id_space=workload.id_space,
+            pool_factory=workload.pool_factory,
+            max_evaluations=spec.search_budget(quick),
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            engine=eng,
+        )
+        seconds = time.perf_counter() - start
+        # A search scenario "observes correct" when no defeat was found;
+        # the bundled traps expect the hunt to succeed (expect_correct=False).
+        observed = not outcome.found
+        instances = outcome.instances_tried
+        sweeps = outcome.executions
+        computed, replayed = outcome.jobs_computed, outcome.jobs_replayed
+        summary = outcome.summary()
+        details = outcome.as_dict()
     else:
         raise ValueError(f"unknown scenario kind {spec.kind!r} in {spec.name!r}")
     return ScenarioResult(
@@ -191,11 +222,13 @@ def run_campaign(
     quick: bool = False,
     name: str = "podc13-reproduction",
     store: StoreLike = None,
+    seed: Optional[int] = None,
 ) -> CampaignReport:
     """Execute a list of scenarios (default: the whole bundle) into one report.
 
     ``store`` opens (or reuses) one verdict store shared by every scenario
     of the campaign, so both cross-run *and* cross-scenario repeats replay.
+    ``seed`` overrides every scenario's declared sampling/search seed.
     """
     chosen: List[ScenarioSpec] = [
         get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
@@ -208,7 +241,9 @@ def run_campaign(
     try:
         for spec in chosen:
             report.results.append(
-                run_scenario(spec, engine=engine, workers=workers, quick=quick, store=verdict_store)
+                run_scenario(
+                    spec, engine=engine, workers=workers, quick=quick, store=verdict_store, seed=seed
+                )
             )
     finally:
         if owns_store and verdict_store is not None:
@@ -223,6 +258,7 @@ def resume_campaign(
     workers: Optional[int] = None,
     quick: Optional[bool] = None,
     store: StoreLike = None,
+    seed: Optional[int] = None,
 ) -> Tuple[CampaignReport, int]:
     """Re-run only the missing/stale scenarios of an existing report.
 
@@ -246,6 +282,10 @@ def resume_campaign(
     chosen: List[ScenarioSpec] = [
         get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
     ]
+    if seed is not None:
+        chosen = [
+            dataclasses.replace(spec, seed=seed) if spec.seed != seed else spec for spec in chosen
+        ]
     merged = CampaignReport(name=previous.name, engine=previous.engine, quick=quick)
     verdict_store, owns_store = _resolve_store(store)
     reused = 0

@@ -3,9 +3,14 @@
 Each scenario is one cell of the validation grid: a graph family, a size
 ladder, a property, a decider class and an engine.  The bundle covers both
 sides of the paper's separations — deciders that must verify cleanly
-(``expect_correct=True``) and candidate Id-oblivious deciders whose
-*failure* is the claim, with the defeating counter-example assignment cited
-in the report (``expect_correct=False``).
+(``expect_correct=True``) and candidate deciders whose *failure* is the
+claim, with the defeating counter-example assignment cited in the report
+(``expect_correct=False``).  The failures come in two flavours: the
+Id-oblivious budget candidate is wrong under *every* assignment (a
+``verify`` scenario), while the :mod:`repro.adversary` trap candidates are
+wrong only in an exponentially small corner of the assignment space, so
+their defeat must be *hunted* (``search`` scenarios at ladder sizes beyond
+exhaustive reach).
 
 The promise problems of Sections 2 and 3 use the paper's 1-based
 identifier convention ("some node holds an identifier at least ``n``"), so
@@ -19,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..adversary.candidates import LazyGuardColouringDecider, ParityAuditMISDecider
 from ..decision.property import FunctionProperty, InstanceFamily
 from ..graphs.generators import cycle_graph, path_graph
 from ..graphs.identifiers import BoundedIdentifierSpace, IdAssignment, sequential_assignment
@@ -26,6 +32,13 @@ from ..graphs.labelled_graph import LabelledGraph
 from ..local_model.algorithm import FunctionIdObliviousAlgorithm
 from ..local_model.outputs import NO, YES
 from ..properties.colouring import ProperColouringDecider, ProperColouringProperty, greedy_colouring
+from ..properties.independent_set import (
+    MaximalIndependentSetDecider,
+    MaximalIndependentSetProperty,
+    OUT_SET,
+    greedy_mis,
+)
+from ..properties.matching import MaximalMatchingDecider, MaximalMatchingProperty, greedy_matching
 from ..separation.bounded_ids import (
     BoundedIdsLDDecider,
     CyclePromiseProblem,
@@ -83,7 +96,7 @@ def _build_sec2_promise(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioW
         family=problem.family(r_values=sizes),
         decider=IdThresholdCycleDecider(),
         prop=problem,
-        assignments_factory=one_based_assignments(spec.samples),
+        assignments_factory=one_based_assignments(spec.samples, seed=spec.seed),
     )
 
 
@@ -136,7 +149,7 @@ def _build_sec3_promise(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioW
         family=family,
         decider=IdSimulationDecider(),
         prop=problem,
-        assignments_factory=one_based_assignments(spec.samples),
+        assignments_factory=one_based_assignments(spec.samples, seed=spec.seed),
     )
 
 
@@ -157,7 +170,7 @@ def _build_sec3_oblivious_budget(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> 
         family=family,
         decider=bounded_budget_oblivious_decider(budget=2),
         prop=problem,
-        assignments_factory=one_based_assignments(spec.samples),
+        assignments_factory=one_based_assignments(spec.samples, seed=spec.seed),
     )
 
 
@@ -219,6 +232,83 @@ def _build_colouring(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWork
         description="properly coloured cycles/paths (yes); monochromatic and odd-2-coloured (no)",
     )
     return ScenarioWorkload(family=family, decider=ProperColouringDecider(3), prop=prop)
+
+
+def _build_matching(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWorkload:
+    prop = MaximalMatchingProperty()
+    base = InstanceFamily.from_property(prop)
+    yes = list(base.yes) + [greedy_matching(cycle_graph(n)) for n in sizes]
+    # All-unmatched cycles: every edge violates maximality.
+    no = list(base.no) + [cycle_graph(n) for n in sizes]
+    family = InstanceFamily(
+        name=f"maximal-matching(n in {sizes})",
+        yes_instances=yes,
+        no_instances=no,
+        description="greedily matched cycles (yes); all-unmatched and malformed encodings (no)",
+    )
+    return ScenarioWorkload(family=family, decider=MaximalMatchingDecider(), prop=prop)
+
+
+def _build_mis(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWorkload:
+    prop = MaximalIndependentSetProperty()
+    base = InstanceFamily.from_property(prop)
+    yes = list(base.yes) + [greedy_mis(cycle_graph(n)) for n in sizes]
+    # Empty selections: every node violates maximality.
+    no = list(base.no) + [
+        cycle_graph(n).with_labels({i: OUT_SET for i in range(n)}) for n in sizes
+    ]
+    family = InstanceFamily(
+        name=f"maximal-independent-set(n in {sizes})",
+        yes_instances=yes,
+        no_instances=no,
+        description="greedy MIS cycles (yes); empty selections and violations (no)",
+    )
+    return ScenarioWorkload(family=family, decider=MaximalIndependentSetDecider(), prop=prop)
+
+
+# ---------------------------------------------------------------------- #
+# Adversarial searches — identifier-dependent trap candidates
+# ---------------------------------------------------------------------- #
+
+
+def _build_adv_colour_guard(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWorkload:
+    prop = ProperColouringProperty(3)
+    # The guard bound is sized to the smallest instance: every ladder size n
+    # keeps 4n - 2*min(sizes) >= n identifiers at or above the bound, so a
+    # defeating all-non-guard assignment exists at every rung.
+    guard_bound = 2 * min(sizes)
+    family = InstanceFamily(
+        name=f"adv-colour-guard(n in {sizes})",
+        yes_instances=[greedy_colouring(cycle_graph(n)) for n in sizes],
+        no_instances=[cycle_graph(n).with_labels({i: 0 for i in range(n)}) for n in sizes],
+        description="monochromatic cycles defeat the lazy-guard candidate only "
+        "under all-identifiers-above-the-bound assignments",
+    )
+    return ScenarioWorkload(
+        family=family,
+        decider=LazyGuardColouringDecider(3, guard_bound=guard_bound),
+        prop=prop,
+        pool_factory=lambda g: range(4 * g.num_nodes()),
+    )
+
+
+def _build_adv_mis_parity(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWorkload:
+    prop = MaximalIndependentSetProperty()
+    family = InstanceFamily(
+        name=f"adv-mis-parity(n in {sizes})",
+        yes_instances=[greedy_mis(cycle_graph(n)) for n in sizes],
+        no_instances=[
+            cycle_graph(n).with_labels({i: OUT_SET for i in range(n)}) for n in sizes
+        ],
+        description="empty-selection cycles defeat the parity-audit candidate "
+        "only under all-even identifier assignments",
+    )
+    return ScenarioWorkload(
+        family=family,
+        decider=ParityAuditMISDecider(),
+        prop=prop,
+        pool_factory=lambda g: range(3 * g.num_nodes()),
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -333,6 +423,69 @@ _BUNDLE: Tuple[ScenarioSpec, ...] = (
         sizes=(8, 12, 16),
         quick_sizes=(8,),
         samples=4,
+    ),
+    ScenarioSpec(
+        name="classic-matching",
+        title="Maximal matching, locally checkable without identifiers",
+        section="classic",
+        kind="verify",
+        graph_family="matching-labelled cycles and paths",
+        property_name="maximal-matching",
+        decider_name="MaximalMatchingDecider",
+        build=_build_matching,
+        sizes=(8, 12, 16),
+        quick_sizes=(8,),
+        samples=4,
+    ),
+    ScenarioSpec(
+        name="classic-mis",
+        title="Maximal independent set, the paper's second LD* example",
+        section="classic",
+        kind="verify",
+        graph_family="MIS-labelled cycles, paths and stars",
+        property_name="maximal-independent-set",
+        decider_name="MaximalIndependentSetDecider",
+        build=_build_mis,
+        sizes=(8, 12, 16),
+        quick_sizes=(8,),
+        samples=4,
+    ),
+    ScenarioSpec(
+        name="adv-colour-guard",
+        title="Adversarial hunt: lazy-guard colouring candidate starved of guards",
+        section="adversary",
+        kind="search",
+        graph_family="monochromatic cycles (no) and greedy colourings (yes)",
+        property_name="proper-3-colouring",
+        decider_name="LazyGuardColouringDecider",
+        build=_build_adv_colour_guard,
+        # n=12 already puts the defeat beyond exhaustive reach: the first
+        # all-above-the-bound assignment sits past P(47, 11) lexicographic
+        # predecessors, while the guided hunt lands it within the budget.
+        sizes=(12, 16),
+        quick_sizes=(8,),
+        strategy="hill-climb",
+        max_evaluations=600,
+        quick_max_evaluations=300,
+        batch_size=16,
+        expect_correct=False,
+    ),
+    ScenarioSpec(
+        name="adv-mis-parity",
+        title="Adversarial hunt: parity-audit MIS candidate under all-even ids",
+        section="adversary",
+        kind="search",
+        graph_family="empty-selection cycles (no) and greedy MIS (yes)",
+        property_name="maximal-independent-set",
+        decider_name="ParityAuditMISDecider",
+        build=_build_adv_mis_parity,
+        sizes=(10, 14),
+        quick_sizes=(6,),
+        strategy="hill-climb",
+        max_evaluations=600,
+        quick_max_evaluations=300,
+        batch_size=16,
+        expect_correct=False,
     ),
 )
 

@@ -8,7 +8,7 @@ callable), :class:`ScenarioWorkload` is the materialised cell, and
 :class:`ScenarioResult` / :class:`CampaignReport` are the JSON-ready
 records the campaign runner produces.
 
-Two scenario kinds exist, matching the paper's two validation modes:
+Three scenario kinds exist, matching the reproduction's validation modes:
 
 * ``"verify"`` — exhaustive/sampled verification of a deterministic
   decider over identifier assignments
@@ -17,7 +17,10 @@ Two scenario kinds exist, matching the paper's two validation modes:
   assignment;
 * ``"estimate"`` — Monte-Carlo estimation of a randomised decider's
   acceptance statistics against ``(p, q)`` targets
-  (:func:`~repro.decision.randomized.evaluate_pq_decider`).
+  (:func:`~repro.decision.randomized.evaluate_pq_decider`);
+* ``"search"`` — guided adversarial hunt for a defeating identifier
+  assignment (:func:`~repro.adversary.search.find_counterexample`), with
+  the found counter-example delta-debugged to a locally-minimal witness.
 
 Scenarios may *expect* failure (``expect_correct=False``): the separation
 arguments are demonstrated precisely by candidate Id-oblivious deciders
@@ -52,6 +55,8 @@ class ScenarioWorkload:
     assignments_factory: Optional[Callable[[LabelledGraph], Sequence[IdAssignment]]] = None
     #: per-instance identifier factory (estimate scenarios)
     ids_factory: Optional[Callable[[LabelledGraph], IdAssignment]] = None
+    #: per-instance identifier pool for adversarial hunts (search scenarios)
+    pool_factory: Optional[Callable[[LabelledGraph], Sequence[int]]] = None
     #: (p, q) targets (estimate scenarios)
     target_p: float = 1.0
     target_q: float = 0.0
@@ -69,7 +74,7 @@ class ScenarioSpec:
     name: str
     title: str
     section: str  # the paper section (or "classic") the scenario draws on
-    kind: str  # "verify" | "estimate"
+    kind: str  # "verify" | "estimate" | "search"
     graph_family: str  # human-readable family axis
     property_name: str
     decider_name: str
@@ -79,6 +84,11 @@ class ScenarioSpec:
     samples: int = 4  # id assignments per instance (verify)
     trials: int = 40  # Monte-Carlo trials per instance (estimate)
     quick_trials: int = 8
+    seed: int = 0  # deterministic seed for sampling / search (--seed overrides)
+    strategy: str = "hill-climb"  # search backend (search scenarios)
+    max_evaluations: int = 256  # per-instance search budget (search)
+    quick_max_evaluations: int = 0  # reduced budget under --quick (0 = same)
+    batch_size: int = 16  # candidates proposed per search batch (search)
     engine: str = "cached"  # default backend when the runner gets no override
     expect_correct: bool = True
     description: str = ""
@@ -92,6 +102,12 @@ class ScenarioSpec:
     def trial_count(self, quick: bool) -> int:
         """Monte-Carlo trials per instance, reduced under ``--quick``."""
         return min(self.trials, self.quick_trials) if quick else self.trials
+
+    def search_budget(self, quick: bool) -> int:
+        """Per-instance search budget, reduced under ``--quick`` when set."""
+        if quick and self.quick_max_evaluations:
+            return min(self.max_evaluations, self.quick_max_evaluations)
+        return self.max_evaluations
 
     def digest(self, quick: bool) -> str:
         """Stable digest of everything that determines this scenario's workload.
@@ -112,6 +128,8 @@ class ScenarioSpec:
             repr(self.ladder(quick)),
             repr(self.samples),
             repr(self.trial_count(quick)),
+            repr(self.seed),
+            repr((self.strategy, self.search_budget(quick), self.batch_size)),
             repr(self.expect_correct),
             _code_token(self.build),
         ]

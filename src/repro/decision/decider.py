@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from ..engine.base import EngineLike, resolve_engine
+from ..engine.base import EngineLike, resolve_engine, store_counters, store_job_split
 from ..errors import DecisionError
 from ..graphs.identifiers import (
     IdAssignment,
@@ -163,6 +163,9 @@ class VerificationReport:
     jobs_computed: int = 0
     jobs_replayed: int = 0
     counter_examples: List[CounterExample] = field(default_factory=list)
+    #: Locally-minimal witnesses produced by the adversarial shrinker
+    #: (:mod:`repro.adversary.shrink`); populated by ``verify_decider(search=...)``.
+    minimal_counterexamples: List["MinimalCounterExample"] = field(default_factory=list)  # noqa: F821
 
     @property
     def correct(self) -> bool:
@@ -173,6 +176,11 @@ class VerificationReport:
     def first_counterexample(self) -> Optional[CounterExample]:
         """The first observed failure (with its identifier assignment), or ``None``."""
         return self.counter_examples[0] if self.counter_examples else None
+
+    @property
+    def first_minimal(self) -> Optional["MinimalCounterExample"]:  # noqa: F821
+        """The first shrunk witness, or ``None`` when no shrinking was performed."""
+        return self.minimal_counterexamples[0] if self.minimal_counterexamples else None
 
     def summary(self) -> str:
         """One-line human-readable summary, citing the first counter-example on failure."""
@@ -185,11 +193,14 @@ class VerificationReport:
             line += f" ({self.jobs_replayed} replayed / {self.jobs_computed} computed)"
         if not self.correct:
             line += f"; first: {self.first_counterexample.describe()}"
+            if self.first_minimal is not None:
+                line += f"; {self.first_minimal.describe()}"
         return line
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready summary (used by campaign reports)."""
         first = self.first_counterexample
+        minimal = self.first_minimal
         return {
             "algorithm": self.algorithm_name,
             "family": self.family_name,
@@ -200,6 +211,7 @@ class VerificationReport:
             "correct": self.correct,
             "counter_examples": len(self.counter_examples),
             "first_counterexample": None if first is None else first.as_dict(),
+            "first_minimal": None if minimal is None else minimal.as_dict(),
         }
 
 
@@ -259,6 +271,10 @@ def verify_decider(
     stop_at_first_failure: bool = False,
     assignments_factory: Optional[Callable[[LabelledGraph], Sequence[IdAssignment]]] = None,
     engine: EngineLike = None,
+    search: Optional[object] = None,
+    search_budget: int = 256,
+    search_batch: int = 16,
+    shrink: bool = True,
 ) -> VerificationReport:
     """Verify a decider against ground truth on a family of instances.
 
@@ -282,23 +298,54 @@ def verify_decider(
     (``engine.with_store(path)``) replays already-settled jobs from disk
     and only fans out the misses; the report's ``jobs_replayed`` /
     ``jobs_computed`` fields record that split.
+
+    ``search`` switches the sweep from a fixed assignment pool to guided
+    adversarial search (:mod:`repro.adversary`): a strategy name
+    (``"exhaustive"`` / ``"random"`` / ``"hill-climb"``) or factory hunts
+    each instance under a per-instance ``search_budget``, and — with
+    ``shrink`` (the default) — every failure is delta-debugged into
+    :attr:`VerificationReport.minimal_counterexamples`.  The hunted pool
+    is ``exhaustive_pool`` when given, otherwise the ``id_space``'s legal
+    universe (see :func:`~repro.adversary.search.default_pool`);
+    ``samples`` plays no role in search mode, and ``assignments_factory``
+    is incompatible with it — a factory pins the exact assignments to
+    sweep, which contradicts searching for them.
     """
     family = family or InstanceFamily.from_property(prop)
+    if search is not None:
+        if assignments_factory is not None:
+            raise DecisionError(
+                "verify_decider(search=...) cannot honour assignments_factory: "
+                "a fixed assignment list contradicts searching for one; "
+                "restrict the hunted pool via exhaustive_pool or id_space instead"
+            )
+        from ..adversary.search import adversarial_verify
+
+        return adversarial_verify(
+            algorithm,
+            prop,
+            family=family,
+            id_space=id_space,
+            strategy=search,
+            pool_factory=(None if exhaustive_pool is None else (lambda graph: exhaustive_pool)),
+            max_evaluations=search_budget,
+            batch_size=search_batch,
+            seed=seed,
+            stop_at_first_failure=stop_at_first_failure,
+            engine=engine,
+            shrink=shrink,
+        )
     engine = resolve_engine(engine)
     report = VerificationReport(algorithm_name=algorithm.name, family_name=family.name)
     # Snapshot the engine's store counters so the report can attribute this
     # sweep's jobs to replay vs fresh computation (zero/zero for storeless
     # engines, in which case every checked assignment counts as computed).
-    before_replayed = engine.stats.extra.get("store_replayed", 0)
-    before_computed = engine.stats.extra.get("store_computed", 0)
+    before = store_counters(engine)
 
     def _finalise() -> VerificationReport:
-        replayed = engine.stats.extra.get("store_replayed", 0) - before_replayed
-        computed = engine.stats.extra.get("store_computed", 0) - before_computed
-        if replayed or computed:
-            report.jobs_replayed, report.jobs_computed = replayed, computed
-        else:
-            report.jobs_computed = report.assignments_checked
+        report.jobs_replayed, report.jobs_computed = store_job_split(
+            engine, before, report.assignments_checked
+        )
         return report
 
     def _assignments(graph: LabelledGraph) -> List[IdAssignment]:

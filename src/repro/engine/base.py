@@ -48,6 +48,8 @@ __all__ = [
     "derive_node_seed",
     "resolve_engine",
     "default_engine",
+    "store_counters",
+    "store_job_split",
 ]
 
 _MASK64 = (1 << 64) - 1
@@ -268,6 +270,42 @@ class ExecutionEngine(ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------- #
+# Store-traffic attribution
+# ---------------------------------------------------------------------- #
+#
+# Sweeping drivers (``verify_decider``, the adversarial hunts) report how
+# many of their jobs replayed from a cross-run verdict store.  They
+# snapshot the engine's counters before the sweep and diff afterwards;
+# these helpers are that idiom, shared so the counter keys live in one
+# place.
+
+
+def store_counters(engine: "ExecutionEngine") -> Tuple[int, int]:
+    """Snapshot the engine's ``(store_replayed, store_computed)`` counters."""
+    return (
+        engine.stats.extra.get("store_replayed", 0),
+        engine.stats.extra.get("store_computed", 0),
+    )
+
+
+def store_job_split(
+    engine: "ExecutionEngine", before: Tuple[int, int], fallback_computed: int
+) -> Tuple[int, int]:
+    """Attribute the jobs run since ``before`` to replay vs fresh computation.
+
+    Returns ``(replayed, computed)``.  A storeless engine never moves the
+    counters; its jobs all count as computed (``fallback_computed``, the
+    driver's own job tally).
+    """
+    replayed, computed = store_counters(engine)
+    replayed -= before[0]
+    computed -= before[1]
+    if replayed or computed:
+        return replayed, computed
+    return 0, fallback_computed
 
 
 # ---------------------------------------------------------------------- #

@@ -55,7 +55,7 @@ def test_specs_render_list_rows():
     for spec in bundled_scenarios():
         row = spec.as_row()
         assert row[0] == spec.name
-        assert spec.kind in ("verify", "estimate")
+        assert spec.kind in ("verify", "estimate", "search")
 
 
 # ---------------------------------------------------------------------- #

@@ -197,3 +197,63 @@ def test_wilson_interval_and_pq_evaluation():
     report = evaluate_pq_decider(coin, family, p=1.0, q=0.5, trials=60, seed=2)
     assert report.worst_no_rejection > 0.5
     assert report.satisfied
+
+
+# ---------------------------------------------------------------------- #
+# assignments_for: the sampled/exhaustive assignment pool
+# ---------------------------------------------------------------------- #
+
+
+def test_assignments_for_deduplicates_colliding_samples():
+    from repro.decision import assignments_for
+    from repro.graphs import BoundedIdentifierSpace
+
+    g = path_graph(2)
+    # A 2-node graph over a tiny bounded space: many of the sampled
+    # assignments collide with each other and with the canonical one.
+    space = BoundedIdentifierSpace(lambda n: n)
+    assignments = assignments_for(g, id_space=space, samples=32, seed=0)
+    assert len(assignments) == len(set(assignments))
+    # The whole space has only P(2, 2) = 2 assignments.
+    assert len(assignments) == 2
+
+
+def test_assignments_for_includes_bounded_adversarial_assignment():
+    from repro.decision import assignments_for
+    from repro.graphs import BoundedIdentifierSpace
+
+    g = path_graph(3)
+    space = BoundedIdentifierSpace(lambda n: 2 * n + 4)
+    assignments = assignments_for(g, id_space=space, samples=2, seed=1)
+    adversarial = space.adversarial(g)
+    assert adversarial in assignments
+    assert assignments[0] == sequential_assignment(g)
+    # The adversarial assignment uses the largest legal identifiers.
+    assert adversarial.max_identifier() == space.bound_for(3) - 1
+
+
+def test_assignments_for_include_adversarial_flag():
+    from repro.decision import assignments_for
+    from repro.graphs import BoundedIdentifierSpace
+
+    g = path_graph(3)
+    space = BoundedIdentifierSpace(lambda n: 10 * n)
+    with_adv = assignments_for(g, id_space=space, samples=2, seed=3)
+    without = assignments_for(g, id_space=space, samples=2, seed=3, include_adversarial=False)
+    adversarial = space.adversarial(g)
+    assert adversarial in with_adv
+    assert adversarial not in without
+    # Dropping the adversarial assignment removes exactly that one entry.
+    assert [a for a in with_adv if a != adversarial] == without
+
+
+def test_assignments_for_exhaustive_pool_overrides_sampling():
+    from repro.decision import assignments_for
+
+    g = path_graph(2)
+    assignments = assignments_for(g, exhaustive_pool=[5, 7], samples=99)
+    # Canonical 0,1 plus both injective assignments from the pool.
+    assert len(assignments) == 3
+    assert assignments[0] == sequential_assignment(g)
+    pools = {a.identifiers() for a in assignments[1:]}
+    assert pools == {(5, 7), (7, 5)}
