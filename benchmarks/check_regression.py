@@ -1,28 +1,36 @@
 """Benchmark-regression gate for speedup records.
 
-Compares a freshly measured benchmark record against the committed
-baseline and fails (exit 1) when the record's speedup drops below the
-acceptance floor.  ``--key`` selects which speedup the record carries:
-the default gates the CachedEngine-vs-direct record
-(``BENCH_engines.json``), and CI also gates the adversarial-search record
-(``BENCH_adversary.json``, key ``speedup_exhaustive_over_guided``)::
+Compares freshly measured benchmark records against the committed
+baselines and fails (exit 1) when a record's gated value drops below its
+acceptance floor.  Two invocation forms exist:
+
+**Single-record form** (positional paths): ``--key`` selects which value
+the record carries; the default gates the CachedEngine-vs-direct record
+(``BENCH_engines.json``)::
 
     cp benchmarks/BENCH_engines.json /tmp/baseline.json        # committed record
     PYTHONPATH=src python -m pytest benchmarks/test_bench_engines.py -q
     python benchmarks/check_regression.py /tmp/baseline.json benchmarks/BENCH_engines.json
 
-    python benchmarks/check_regression.py \\
-        /tmp/BENCH_adversary.baseline.json benchmarks/BENCH_adversary.json \\
-        --key speedup_exhaustive_over_guided --min-speedup 2.0
+**Consolidated form** (repeatable ``--gate BASELINE:CURRENT:KEY:FLOOR``
+triples): one invocation gates every benchmark record, which is how CI
+collapses its per-record gating steps into a single one::
 
-The default floor (3x) matches the assertion inside the engine benchmark
-itself; the gate exists so the comparison against the committed trajectory
-is an explicit, artifact-producing CI step rather than a side effect of the
-test run, and so ``--max-drop`` can additionally flag large relative
-regressions against the baseline.
+    python benchmarks/check_regression.py \\
+        --gate /tmp/BENCH_engines.baseline.json:benchmarks/BENCH_engines.json:speedup_direct_over_cached:3.0 \\
+        --gate /tmp/BENCH_adversary.baseline.json:benchmarks/BENCH_adversary.json:speedup_exhaustive_over_guided:2.0 \\
+        --gate /tmp/BENCH_workloads.baseline.json:benchmarks/BENCH_workloads.json:cells_per_second_serial:2.0
+
+Every gate is evaluated (no short-circuit) so one CI run reports every
+regression at once.  The default floor (3x) matches the assertion inside
+the engine benchmark itself; the gate exists so the comparison against the
+committed trajectory is an explicit, artifact-producing CI step rather
+than a side effect of the test run, and so ``--max-drop`` can additionally
+flag large relative regressions against the baseline (it applies to every
+gate of the consolidated form too).
 
 Exit codes: 0 = no regression, 1 = regression detected, 2 = a record is
-unusable (missing/zero/negative/NaN speedup) — an unusable baseline fails
+unusable (missing/zero/negative/NaN value) — an unusable baseline fails
 loudly instead of turning ``--max-drop`` into a vacuous comparison.
 """
 
@@ -73,52 +81,119 @@ def load_speedup(path: Path, role: str, key: str = SPEEDUP_KEY) -> float:
     return speedup
 
 
+def parse_gate(raw: str) -> tuple:
+    """Parse one ``BASELINE:CURRENT:KEY:FLOOR`` triple-colon gate spec.
+
+    The split is from the right (floor, then key) so POSIX paths — which
+    cannot themselves be validated here — keep any exotic characters; a
+    malformed spec is an invalid-record error (exit 2), not a regression.
+    """
+    parts = raw.rsplit(":", 2)
+    if len(parts) != 3 or ":" not in parts[0]:
+        print(
+            f"INVALID: gate spec {raw!r} is not of the form BASELINE:CURRENT:KEY:FLOOR",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_INVALID_RECORD)
+    paths, key, floor_text = parts
+    baseline_path, _, fresh_path = paths.rpartition(":")
+    try:
+        floor = float(floor_text)
+    except ValueError:
+        print(
+            f"INVALID: gate spec {raw!r}: floor {floor_text!r} is not a number",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_INVALID_RECORD) from None
+    return Path(baseline_path), Path(fresh_path), key, floor
+
+
+def evaluate_gate(
+    baseline_path: Path, fresh_path: Path, key: str, floor: float, max_drop=None
+) -> bool:
+    """Evaluate one gate; print its verdict and return ``True`` on failure."""
+    baseline = load_speedup(baseline_path, "baseline", key)
+    fresh = load_speedup(fresh_path, "fresh", key)
+    # Speedup records are ratios ("x"); other gated values (throughputs
+    # like cells_per_second_*) are plain magnitudes — don't mislabel them.
+    unit = "x" if "speedup" in key else ""
+    ratio = fresh / baseline
+    print(
+        f"{key}: baseline {baseline:.2f}{unit}, fresh {fresh:.2f}{unit} "
+        f"({ratio:.2f}x of baseline); floor {floor:.2f}{unit}"
+    )
+    failed = False
+    if fresh < floor:
+        print(f"FAIL: fresh {key} {fresh:.2f}{unit} is below the {floor:.2f}{unit} floor")
+        failed = True
+    if max_drop is not None and fresh < baseline * (1.0 - max_drop):
+        print(
+            f"FAIL: fresh {key} {fresh:.2f}{unit} dropped more than "
+            f"{max_drop:.0%} below the baseline {baseline:.2f}{unit}"
+        )
+        failed = True
+    return failed
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed BENCH_engines.json")
-    parser.add_argument("fresh", type=Path, help="freshly measured BENCH_engines.json")
+    parser.add_argument(
+        "baseline", type=Path, nargs="?", default=None, help="committed benchmark record"
+    )
+    parser.add_argument(
+        "fresh", type=Path, nargs="?", default=None, help="freshly measured benchmark record"
+    )
+    parser.add_argument(
+        "--gate",
+        action="append",
+        default=[],
+        metavar="BASELINE:CURRENT:KEY:FLOOR",
+        help="consolidated gate spec (repeatable); replaces the positional form "
+        "so one invocation gates several benchmark records",
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
-        default=3.0,
-        help="hard floor on the fresh speedup (default: 3.0)",
+        default=None,
+        help="hard floor on the fresh speedup (positional form only; default: 3.0)",
     )
     parser.add_argument(
         "--key",
-        default=SPEEDUP_KEY,
+        default=None,
         metavar="KEY",
-        help=f"record key holding the gated speedup (default: {SPEEDUP_KEY!r})",
+        help=f"record key holding the gated speedup (positional form only; default: {SPEEDUP_KEY!r})",
     )
     parser.add_argument(
         "--max-drop",
         type=float,
         default=None,
         metavar="FRACTION",
-        help="optionally also fail when the fresh speedup drops more than this "
-        "fraction below the baseline (e.g. 0.5 = fresh must be >= half the baseline)",
+        help="optionally also fail when a fresh value drops more than this "
+        "fraction below its baseline (e.g. 0.5 = fresh must be >= half the baseline)",
     )
     args = parser.parse_args(argv)
 
-    baseline = load_speedup(args.baseline, "baseline", args.key)
-    fresh = load_speedup(args.fresh, "fresh", args.key)
-    ratio = fresh / baseline
-    print(
-        f"{args.key}: baseline {baseline:.2f}x, fresh {fresh:.2f}x "
-        f"({ratio:.2f}x of baseline); floor {args.min_speedup:.2f}x"
-    )
+    if args.gate:
+        if args.baseline is not None or args.fresh is not None:
+            parser.error("--gate replaces the positional BASELINE/CURRENT arguments")
+        if args.key is not None or args.min_speedup is not None:
+            # Each gate spec carries its own key and floor; silently
+            # ignoring these flags would drop a floor the caller set.
+            parser.error("--key/--min-speedup do not apply to --gate specs "
+                         "(put KEY and FLOOR inside each --gate)")
+        gates = [parse_gate(raw) for raw in args.gate]
+    else:
+        if args.baseline is None or args.fresh is None:
+            parser.error("either --gate or the positional BASELINE CURRENT pair is required")
+        key = args.key if args.key is not None else SPEEDUP_KEY
+        floor = args.min_speedup if args.min_speedup is not None else 3.0
+        gates = [(args.baseline, args.fresh, key, floor)]
 
     failed = False
-    if fresh < args.min_speedup:
-        print(f"FAIL: fresh speedup {fresh:.2f}x is below the {args.min_speedup:.2f}x floor")
-        failed = True
-    if args.max_drop is not None and fresh < baseline * (1.0 - args.max_drop):
-        print(
-            f"FAIL: fresh speedup {fresh:.2f}x dropped more than "
-            f"{args.max_drop:.0%} below the baseline {baseline:.2f}x"
-        )
-        failed = True
+    for baseline_path, fresh_path, key, floor in gates:
+        failed |= evaluate_gate(baseline_path, fresh_path, key, floor, args.max_drop)
     if not failed:
-        print("OK: no benchmark regression")
+        print(f"OK: no benchmark regression across {len(gates)} gate(s)")
     return 1 if failed else 0
 
 

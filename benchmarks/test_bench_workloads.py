@@ -1,0 +1,78 @@
+"""Quick-matrix sweep throughput: serial CachedEngine vs 2-worker ParallelEngine.
+
+Expands the full default workload matrix and runs every cell in quick mode
+twice — once on the serial caching backend and once on a 2-worker
+``ParallelEngine`` — asserting that both sweeps behave as the matrix
+predicts and produce identical per-cell spec digests and verdicts.  The
+measured cell throughput (cells/s) is recorded in
+``BENCH_workloads.json`` next to the other benchmark records; CI gates the
+serial throughput through the consolidated ``check_regression.py --gate``
+invocation (the parallel/serial ratio is recorded, not gated: on
+cells this small the fork overhead can dominate, and the deterministic
+signal is the identical-verdicts assertion).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.campaign.runner import run_campaign
+from repro.workloads import default_matrix
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_workloads.json"
+
+_MATRIX_SEED = 0
+
+
+def _timed_sweep(engine, workers=None):
+    specs = default_matrix(seed=_MATRIX_SEED).scenarios()
+    start = time.perf_counter()
+    report = run_campaign(
+        specs,
+        engine=engine,
+        workers=workers,
+        quick=True,
+        name=f"bench-workloads({engine})",
+    )
+    return report, time.perf_counter() - start
+
+
+def test_bench_workloads_cell_throughput():
+    serial, t_serial = _timed_sweep("cached")
+    parallel, t_parallel = _timed_sweep("parallel", workers=2)
+
+    assert serial.ok, "serial quick matrix sweep misbehaved"
+    assert parallel.ok, "parallel quick matrix sweep misbehaved"
+    cells = len(serial.results)
+    assert cells >= 40, f"matrix expanded only {cells} cells"
+    # Same seed => same workloads and verdicts regardless of the backend.
+    assert [r.name for r in serial.results] == [r.name for r in parallel.results]
+    assert [r.spec_digest for r in serial.results] == [r.spec_digest for r in parallel.results]
+    assert [r.observed_correct for r in serial.results] == [
+        r.observed_correct for r in parallel.results
+    ]
+
+    cps_serial = cells / t_serial if t_serial > 0 else float("inf")
+    cps_parallel = cells / t_parallel if t_parallel > 0 else float("inf")
+    payload = {
+        "workload": "quick workload-matrix sweep (all cells)",
+        "matrix_seed": _MATRIX_SEED,
+        "cells": cells,
+        "kinds": {
+            "verify": sum(1 for r in serial.results if r.kind == "verify"),
+            "search": sum(1 for r in serial.results if r.kind == "search"),
+        },
+        "seconds": {"serial": round(t_serial, 6), "parallel_2": round(t_parallel, 6)},
+        "cells_per_second_serial": round(cps_serial, 3),
+        "cells_per_second_parallel": round(cps_parallel, 3),
+        "speedup_parallel_over_serial": round(
+            t_serial / t_parallel if t_parallel > 0 else float("inf"), 3
+        ),
+        "verdicts_identical_serial_vs_parallel": True,
+        "recorded_at_unix": int(time.time()),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # The in-test floor mirrors the CI gate: quick cells are tiny, so even a
+    # slow shared runner clears single-digit cells/s by a wide margin.
+    assert cps_serial >= 2.0, f"serial quick sweep slowed to {cps_serial:.2f} cells/s"

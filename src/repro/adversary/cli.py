@@ -37,7 +37,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.reporting import format_table
 from ..campaign.runner import StoreLike, _resolve_store
-from ..campaign.scenarios import bundled_scenarios, get_scenario
+from ..campaign.scenarios import all_scenarios, get_scenario
 from ..campaign.spec import ScenarioSpec
 from ..engine.base import resolve_engine
 from .search import SearchReport, find_counterexample
@@ -47,8 +47,13 @@ __all__ = ["main", "build_parser", "search_scenarios", "hunt_scenario"]
 
 
 def search_scenarios() -> List[ScenarioSpec]:
-    """The bundled adversarial targets: campaign scenarios of kind ``search``."""
-    return [spec for spec in bundled_scenarios() if spec.kind == "search"]
+    """The addressable adversarial targets: campaign scenarios of kind ``search``.
+
+    Includes registered workload-matrix cells once
+    :func:`repro.workloads.install_matrix` has run (the CLI's
+    ``--workloads`` flag), so matrix hunts are driven like bundled ones.
+    """
+    return [spec for spec in all_scenarios() if spec.kind == "search"]
 
 
 def hunt_scenario(
@@ -100,7 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TARGET",
         help=f"adversarial targets to hunt (default: all). Known: {targets}",
     )
-    parser.add_argument("--list", action="store_true", help="list bundled targets and exit")
+    parser.add_argument("--list", action="store_true", help="list addressable targets and exit")
+    parser.add_argument(
+        "--workloads",
+        action="store_true",
+        help="register the workload matrix's search cells as additional targets",
+    )
+    parser.add_argument(
+        "--matrix-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="matrix seed used with --workloads (default: 0)",
+    )
     parser.add_argument(
         "--strategy",
         default=None,
@@ -163,6 +180,10 @@ def _list_targets() -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workloads:
+        from ..workloads import install_matrix
+
+        install_matrix(seed=args.matrix_seed, kinds=("search",))
     if args.list:
         print(_list_targets())
         return 0

@@ -45,8 +45,14 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..analysis.reporting import format_table
-from .runner import DEFAULT_REPORT_PATH, resume_campaign, run_campaign, write_report
-from .scenarios import bundled_scenarios, scenario_names
+from .runner import (
+    DEFAULT_REPORT_PATH,
+    replay_summary,
+    resume_campaign,
+    run_campaign,
+    write_report,
+)
+from .scenarios import all_scenarios, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -62,7 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCENARIO",
         help=f"scenario names to run (default: all). Known: {', '.join(scenario_names())}",
     )
-    parser.add_argument("--list", action="store_true", help="list bundled scenarios and exit")
+    parser.add_argument("--list", action="store_true", help="list addressable scenarios and exit")
+    parser.add_argument(
+        "--workloads",
+        action="store_true",
+        help="register the workload matrix's expanded cells next to the bundled "
+        "scenarios (they then run, list and resume by name like any other scenario)",
+    )
+    parser.add_argument(
+        "--matrix-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="matrix seed used with --workloads (default: 0)",
+    )
     parser.add_argument(
         "--engine",
         default=None,
@@ -130,17 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _list_scenarios() -> str:
-    rows = [spec.as_row() for spec in bundled_scenarios()]
+    rows = [spec.as_row() for spec in all_scenarios()]
     return format_table(
         ["name", "section", "kind", "engine", "sizes", "title"],
         rows,
-        title=f"bundled campaign scenarios ({len(rows)})",
+        title=f"addressable campaign scenarios ({len(rows)})",
     )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workloads:
+        from ..workloads import install_matrix
+
+        install_matrix(seed=args.matrix_seed)
     if args.list:
         print(_list_scenarios())
         return 0
@@ -195,17 +218,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"report written to {path}")
     ok = report.ok
     if args.min_replayed is not None:
-        # Gate only on scenarios this invocation actually ran: results
-        # carried over by --resume keep the counters of the run that
-        # produced them, which say nothing about the store's warmth now.
-        fresh = [r for r in report.results if not r.resumed]
-        replayed = sum(r.jobs_replayed for r in fresh)
-        total = replayed + sum(r.jobs_computed for r in fresh)
-        fraction = replayed / total if total else 1.0
+        replayed, total, fraction, resumed = replay_summary(report)
         print(
             f"store replay: {replayed}/{total} jobs "
             f"({fraction:.1%}, floor {args.min_replayed:.1%}"
-            + (f"; {len(report.results) - len(fresh)} resumed scenario(s) excluded)" if len(fresh) != len(report.results) else ")")
+            + (f"; {resumed} resumed scenario(s) excluded)" if resumed else ")")
         )
         if fraction < args.min_replayed:
             print(

@@ -47,6 +47,7 @@ __all__ = [
     "run_scenario",
     "run_campaign",
     "resume_campaign",
+    "replay_summary",
     "write_report",
     "DEFAULT_REPORT_PATH",
 ]
@@ -318,6 +319,22 @@ def resume_campaign(
         if result.name not in requested:
             merged.results.append(result)
     return merged, reused
+
+
+def replay_summary(report: CampaignReport) -> Tuple[int, int, float, int]:
+    """Summarise a report's verdict-store replay for ``--min-replayed`` gates.
+
+    Counts only scenarios the producing invocation actually ran: results
+    carried over by ``--resume`` keep the counters of the run that produced
+    them, which say nothing about the store's warmth now.  Returns
+    ``(replayed, total, fraction, resumed_excluded)``; an empty total
+    gates as fully replayed (fraction 1.0).
+    """
+    fresh = [r for r in report.results if not r.resumed]
+    replayed = sum(r.jobs_replayed for r in fresh)
+    total = replayed + sum(r.jobs_computed for r in fresh)
+    fraction = replayed / total if total else 1.0
+    return replayed, total, fraction, len(report.results) - len(fresh)
 
 
 def write_report(

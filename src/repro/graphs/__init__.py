@@ -22,15 +22,21 @@ from .identifiers import (
 )
 from .neighbourhood import Neighbourhood, all_neighbourhoods, extract_neighbourhood
 from .generators import (
+    caterpillar_graph,
     complete_binary_tree,
     complete_graph,
     cycle_graph,
+    disjoint_cycles,
     grid_graph,
+    hypercube_graph,
     layered_binary_tree,
     path_graph,
     quadtree_pyramid,
     random_graph,
+    random_regular_graph,
     random_tree,
+    single_edge_graph,
+    single_node_graph,
     star_graph,
     torus_graph,
 )
@@ -54,15 +60,21 @@ __all__ = [
     "Neighbourhood",
     "all_neighbourhoods",
     "extract_neighbourhood",
+    "caterpillar_graph",
     "complete_binary_tree",
     "complete_graph",
     "cycle_graph",
+    "disjoint_cycles",
     "grid_graph",
+    "hypercube_graph",
     "layered_binary_tree",
     "path_graph",
     "quadtree_pyramid",
     "random_graph",
+    "random_regular_graph",
     "random_tree",
+    "single_edge_graph",
+    "single_node_graph",
     "star_graph",
     "torus_graph",
     "are_isomorphic",

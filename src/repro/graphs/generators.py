@@ -38,6 +38,12 @@ __all__ = [
     "quadtree_pyramid",
     "random_graph",
     "random_tree",
+    "hypercube_graph",
+    "random_regular_graph",
+    "caterpillar_graph",
+    "disjoint_cycles",
+    "single_node_graph",
+    "single_edge_graph",
 ]
 
 
@@ -240,6 +246,113 @@ def random_graph(
         if not require_connected or g.is_connected():
             return g
     raise GraphError(f"failed to sample a connected G({n}, {p}) graph in {max_attempts} attempts")
+
+
+def hypercube_graph(dim: int, label: Hashable = None) -> LabelledGraph:
+    """Return the ``dim``-dimensional hypercube on nodes ``0..2^dim - 1``.
+
+    Two nodes are adjacent when their binary expansions differ in exactly
+    one bit, so the graph is ``dim``-regular, bipartite and vertex-transitive
+    — a structured, high-symmetry family complementing the paper's cycles
+    and grids.  ``dim = 0`` degenerates to the single-node graph.
+    """
+    if dim < 0:
+        raise GraphError(f"dim must be non-negative, got {dim}")
+    n = 1 << dim
+    nodes = list(range(n))
+    edges = [(v, v | (1 << b)) for v in range(n) for b in range(dim) if not v & (1 << b)]
+    return LabelledGraph(nodes, edges, {v: label for v in nodes})
+
+
+def random_regular_graph(
+    n: int,
+    d: int,
+    seed: Optional[int] = None,
+    label: Hashable = None,
+    max_attempts: int = 256,
+) -> LabelledGraph:
+    """Return a seedable random ``d``-regular graph on nodes ``0..n-1``.
+
+    Uses the pairing (configuration) model: ``d`` stubs per node are paired
+    uniformly at random and the draw is rejected until it yields a simple
+    graph (no loops, no parallel edges).  ``n * d`` must be even and
+    ``d < n``.  The same ``seed`` always produces the same graph.
+    """
+    _require_positive("n", n, 1)
+    if d < 0 or d >= n:
+        raise GraphError(f"degree must satisfy 0 <= d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise GraphError(f"n * d must be even for a d-regular graph, got n={n}, d={d}")
+    nodes = list(range(n))
+    if d == 0:
+        return LabelledGraph(nodes, [], {v: label for v in nodes})
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        stubs = [v for v in nodes for _ in range(d)]
+        rng.shuffle(stubs)
+        pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+        if any(u == v for u, v in pairs):
+            continue
+        undirected = {(min(u, v), max(u, v)) for u, v in pairs}
+        if len(undirected) != len(pairs):
+            continue
+        return LabelledGraph(nodes, sorted(undirected), {v: label for v in nodes})
+    raise GraphError(
+        f"failed to sample a simple {d}-regular graph on {n} nodes in {max_attempts} attempts"
+    )
+
+
+def caterpillar_graph(
+    spine: int,
+    seed: Optional[int] = None,
+    max_legs: int = 2,
+    label: Hashable = None,
+) -> LabelledGraph:
+    """Return a seedable caterpillar: a spine path with random pendant legs.
+
+    The spine is the path on nodes ``0..spine-1``; every spine node ``i``
+    additionally carries ``rng(seed)``-many legs (between 0 and
+    ``max_legs``), named ``("leg", i, j)``.  Caterpillars are the sparsest
+    interesting trees (removing the leaves leaves a path), a degenerate
+    family stressing deciders whose reasoning assumes regular topologies.
+    The same ``seed`` always produces the same tree.
+    """
+    _require_positive("spine", spine, 1)
+    if max_legs < 0:
+        raise GraphError(f"max_legs must be non-negative, got {max_legs}")
+    rng = random.Random(seed)
+    nodes: List[Node] = list(range(spine))
+    edges: List[Edge] = [(i, i + 1) for i in range(spine - 1)]
+    for i in range(spine):
+        for j in range(rng.randint(0, max_legs)):
+            leg = ("leg", i, j)
+            nodes.append(leg)
+            edges.append((i, leg))
+    return LabelledGraph(nodes, edges, {v: label for v in nodes})
+
+
+def disjoint_cycles(count: int, n: int, label: Hashable = None) -> LabelledGraph:
+    """Return the disjoint union of ``count`` cycles of ``n`` nodes each.
+
+    Nodes are pairs ``(k, i)`` for cycle ``k`` and position ``i``.  The
+    graph is deliberately disconnected — an edge case for deciders and
+    sweeps whose implicit promise is a connected input.
+    """
+    _require_positive("count", count, 1)
+    _require_positive("n", n, 3)
+    nodes = [(k, i) for k in range(count) for i in range(n)]
+    edges = [((k, i), (k, (i + 1) % n)) for k in range(count) for i in range(n)]
+    return LabelledGraph(nodes, edges, {v: label for v in nodes})
+
+
+def single_node_graph(label: Hashable = None) -> LabelledGraph:
+    """Return the one-node graph: the smallest legal input."""
+    return LabelledGraph([0], [], {0: label})
+
+
+def single_edge_graph(label: Hashable = None) -> LabelledGraph:
+    """Return the two-node, one-edge graph: the smallest input with an edge."""
+    return LabelledGraph([0, 1], [(0, 1)], {0: label, 1: label})
 
 
 def random_tree(n: int, seed: Optional[int] = None, label: Hashable = None) -> LabelledGraph:

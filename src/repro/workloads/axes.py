@@ -1,0 +1,345 @@
+"""The property, decider-construction and identifier-regime axes.
+
+Each :class:`PropertyAxis` knows how to decorate a bare topology from the
+family axis into labelled yes/no instances (``yes_instance`` /
+``no_instance``; either may return ``None`` when the topology admits no
+such instance — a single node has no improper colouring), which property
+object scores ground truth, and which decider constructions compete on it.
+
+A :class:`DeciderConstruction` is one way of building a decider for the
+property: the ``honest`` construction is the property's canonical correct
+decider, while ``trap`` constructions are the identifier-dependent
+candidates from :mod:`repro.adversary.candidates`, wrong only in an
+exponentially small corner of the assignment space — their cells expect
+the hunt to *find* that corner (``expect_correct=False``).
+
+An :class:`IdRegime` decides how identifier assignments are exercised:
+
+* ``one-based`` — the paper's positive-identifier convention (canonical
+  1-based sequential plus random injective draws from ``{1..2n}``);
+* ``bounded`` — model (B): random legal assignments under the default
+  bound plus the adversarial largest-identifiers assignment;
+* ``adversarial`` — the cell becomes a ``search`` scenario routed through
+  :func:`repro.adversary.search.find_counterexample`, hunting the
+  identifier pool ``{0..4n-1}`` for a defeating assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..adversary.candidates import LazyGuardColouringDecider, ParityAuditMISDecider
+from ..campaign.scenarios import one_based_assignments
+from ..campaign.spec import ScenarioSpec, ScenarioWorkload
+from ..decision.property import InstanceFamily, Property
+from ..graphs.identifiers import BoundedIdentifierSpace, default_bound
+from ..graphs.labelled_graph import LabelledGraph
+from ..properties.colouring import ProperColouringDecider, ProperColouringProperty, greedy_colouring
+from ..properties.hereditary import HereditaryProperty
+from ..properties.independent_set import (
+    MaximalIndependentSetDecider,
+    MaximalIndependentSetProperty,
+    OUT_SET,
+    greedy_mis,
+)
+from ..properties.matching import MaximalMatchingDecider, MaximalMatchingProperty, greedy_matching
+from ..properties.paths import RegularPathProperty
+from .families import PATH_SHAPED
+
+__all__ = [
+    "DeciderConstruction",
+    "PropertyAxis",
+    "IdRegime",
+    "bundled_properties",
+    "bundled_regimes",
+    "property_names",
+    "regime_names",
+    "get_property_axis",
+    "get_regime",
+]
+
+
+@dataclass(frozen=True)
+class DeciderConstruction:
+    """One way of constructing a decider for a property axis.
+
+    ``make(prop, family)`` receives the scoring property and the
+    materialised instance family, so identifier-dependent traps can size
+    their thresholds to the instances actually generated.  ``expect_defeat``
+    marks trap constructions (their search cells expect a counterexample);
+    ``trap_families`` whitelists the graph families a trap is crossed with
+    (empty = the construction applies to every compatible family).
+    """
+
+    name: str
+    make: Callable[[Property, InstanceFamily], Any]
+    expect_defeat: bool = False
+    trap_families: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PropertyAxis:
+    """One value of the property axis: scoring property + instance decoration."""
+
+    name: str
+    title: str
+    make_property: Callable[[], Property]
+    yes_instance: Callable[[LabelledGraph], Optional[LabelledGraph]]
+    no_instance: Callable[[LabelledGraph], Optional[LabelledGraph]]
+    constructions: Tuple[DeciderConstruction, ...]
+    requires_tags: FrozenSet[str] = frozenset()
+
+    def supports(self, family) -> bool:
+        """Whether this property can decorate the family's topologies."""
+        return self.requires_tags <= family.tags
+
+
+@dataclass(frozen=True)
+class IdRegime:
+    """One value of the identifier-regime axis.
+
+    ``kind`` decides the scenario mode (``verify`` sweeps a fixed
+    assignment pool; ``search`` hunts for a defeating assignment through
+    :func:`~repro.adversary.search.find_counterexample`); ``configure``
+    installs the regime's assignment machinery on the materialised
+    workload.
+    """
+
+    name: str
+    title: str
+    kind: str  # "verify" | "search"
+    configure: Callable[[ScenarioWorkload, ScenarioSpec], None]
+
+
+# ---------------------------------------------------------------------- #
+# Instance decoration per property
+# ---------------------------------------------------------------------- #
+
+
+def _monochromatic(graph: LabelledGraph) -> Optional[LabelledGraph]:
+    """All-same-colour labelling: improper iff the graph has an edge."""
+    if graph.num_edges() == 0:
+        return None
+    return graph.with_labels({v: 0 for v in graph.nodes()})
+
+
+def _empty_selection(graph: LabelledGraph) -> LabelledGraph:
+    """All-OUT labelling: the empty set is never a maximal independent set."""
+    return graph.with_labels({v: OUT_SET for v in graph.nodes()})
+
+
+def _all_unmatched(graph: LabelledGraph) -> Optional[LabelledGraph]:
+    """Unlabelled graph: every edge violates matching maximality."""
+    if graph.num_edges() == 0:
+        return None
+    return graph.with_labels({v: None for v in graph.nodes()})
+
+
+_PATH_ALPHABET = ("a", "b")
+_PATH_FORBIDDEN = (("b", "b"),)
+
+
+def _alternating_word(graph: LabelledGraph) -> LabelledGraph:
+    """Label a path-shaped graph ``a, b, a, b, ...`` in node order (no ``bb`` factor)."""
+    return graph.with_labels(
+        {v: _PATH_ALPHABET[i % 2] for i, v in enumerate(graph.nodes())}
+    )
+
+
+def _forbidden_word(graph: LabelledGraph) -> LabelledGraph:
+    """A no-instance word: a ``bb`` factor when possible, else an out-of-alphabet label."""
+    if graph.num_nodes() >= 2:
+        return graph.with_labels({v: "b" for v in graph.nodes()})
+    return graph.with_labels({v: "z" for v in graph.nodes()})
+
+
+# ---------------------------------------------------------------------- #
+# Decider constructions
+# ---------------------------------------------------------------------- #
+
+
+def _colouring_decider(prop: Property, family: InstanceFamily) -> ProperColouringDecider:
+    return ProperColouringDecider(None)
+
+
+def _lazy_guard_trap(prop: Property, family: InstanceFamily) -> LazyGuardColouringDecider:
+    # Colour universe: everything the materialised yes-instances use (the
+    # trap must accept them all); guard bound sized to the smallest
+    # no-instance so a defeating all-non-guard assignment exists at every
+    # rung of the ladder (pool 4n keeps >= n identifiers above the bound).
+    colours = 1 + max(
+        (lab for g in family.yes for lab in g.labels().values() if isinstance(lab, int)),
+        default=0,
+    )
+    smallest_no = min((g.num_nodes() for g in family.no), default=1)
+    return LazyGuardColouringDecider(max(colours, 1), guard_bound=2 * smallest_no)
+
+
+def _mis_decider(prop: Property, family: InstanceFamily) -> MaximalIndependentSetDecider:
+    return MaximalIndependentSetDecider()
+
+
+def _parity_audit_trap(prop: Property, family: InstanceFamily) -> ParityAuditMISDecider:
+    return ParityAuditMISDecider()
+
+
+def _matching_decider(prop: Property, family: InstanceFamily) -> MaximalMatchingDecider:
+    return MaximalMatchingDecider()
+
+
+def _path_property() -> RegularPathProperty:
+    return RegularPathProperty(
+        _PATH_ALPHABET, _PATH_FORBIDDEN, name="no-bb-path-language"
+    )
+
+
+def _path_decider(prop: Property, family: InstanceFamily):
+    return prop.decider()
+
+
+def _hereditary_colouring() -> HereditaryProperty:
+    return HereditaryProperty(ProperColouringProperty(None))
+
+
+# ---------------------------------------------------------------------- #
+# Identifier regimes
+# ---------------------------------------------------------------------- #
+
+
+def _configure_one_based(workload: ScenarioWorkload, spec: ScenarioSpec) -> None:
+    workload.assignments_factory = one_based_assignments(spec.samples, seed=spec.seed)
+
+
+def _configure_bounded(workload: ScenarioWorkload, spec: ScenarioSpec) -> None:
+    workload.id_space = BoundedIdentifierSpace(default_bound)
+
+
+def _configure_adversarial(workload: ScenarioWorkload, spec: ScenarioSpec) -> None:
+    workload.pool_factory = lambda g: range(4 * max(g.num_nodes(), 1))
+
+
+_REGIMES: Tuple[IdRegime, ...] = (
+    IdRegime(
+        name="one-based",
+        title="1-based injective identifiers from {1..2n} (the promise-problem convention)",
+        kind="verify",
+        configure=_configure_one_based,
+    ),
+    IdRegime(
+        name="bounded",
+        title="model (B): random legal + adversarial largest identifiers under f(n) = 2n + 4",
+        kind="verify",
+        configure=_configure_bounded,
+    ),
+    IdRegime(
+        name="adversarial",
+        title="guided hunt over the pool {0..4n-1} for a defeating assignment",
+        kind="search",
+        configure=_configure_adversarial,
+    ),
+)
+
+
+# ---------------------------------------------------------------------- #
+# The property bundle
+# ---------------------------------------------------------------------- #
+
+_PROPERTIES: Tuple[PropertyAxis, ...] = (
+    PropertyAxis(
+        name="colouring",
+        title="proper colouring (greedy yes / monochromatic no)",
+        make_property=lambda: ProperColouringProperty(None),
+        yes_instance=greedy_colouring,
+        no_instance=_monochromatic,
+        constructions=(
+            DeciderConstruction("honest", _colouring_decider),
+            DeciderConstruction(
+                "lazy-guard",
+                _lazy_guard_trap,
+                expect_defeat=True,
+                trap_families=("cycle", "grid", "hypercube"),
+            ),
+        ),
+    ),
+    PropertyAxis(
+        name="mis",
+        title="maximal independent set (greedy yes / empty-selection no)",
+        make_property=MaximalIndependentSetProperty,
+        yes_instance=greedy_mis,
+        no_instance=_empty_selection,
+        constructions=(
+            DeciderConstruction("honest", _mis_decider),
+            DeciderConstruction(
+                "parity-audit",
+                _parity_audit_trap,
+                expect_defeat=True,
+                trap_families=("cycle", "random-regular"),
+            ),
+        ),
+    ),
+    PropertyAxis(
+        name="matching",
+        title="maximal matching (greedy yes / all-unmatched no)",
+        make_property=MaximalMatchingProperty,
+        yes_instance=greedy_matching,
+        no_instance=_all_unmatched,
+        constructions=(DeciderConstruction("honest", _matching_decider),),
+    ),
+    PropertyAxis(
+        name="paths",
+        title="regular path language without the factor 'bb' (alternating yes / bb or bad-letter no)",
+        make_property=_path_property,
+        yes_instance=_alternating_word,
+        no_instance=_forbidden_word,
+        constructions=(DeciderConstruction("honest", _path_decider),),
+        requires_tags=frozenset({PATH_SHAPED}),
+    ),
+    PropertyAxis(
+        name="hereditary-colouring",
+        title="hereditary closure of proper colouring (FKP/FHK related-work axis)",
+        make_property=_hereditary_colouring,
+        yes_instance=greedy_colouring,
+        no_instance=_monochromatic,
+        constructions=(DeciderConstruction("honest", _colouring_decider),),
+    ),
+)
+
+_PROPERTIES_BY_NAME: Dict[str, PropertyAxis] = {axis.name: axis for axis in _PROPERTIES}
+_REGIMES_BY_NAME: Dict[str, IdRegime] = {regime.name: regime for regime in _REGIMES}
+
+
+def bundled_properties() -> List[PropertyAxis]:
+    """All bundled property axes, in bundle order."""
+    return list(_PROPERTIES)
+
+
+def bundled_regimes() -> List[IdRegime]:
+    """All bundled identifier regimes, in bundle order."""
+    return list(_REGIMES)
+
+
+def property_names() -> List[str]:
+    """Names of the bundled property axes."""
+    return [axis.name for axis in _PROPERTIES]
+
+
+def regime_names() -> List[str]:
+    """Names of the bundled identifier regimes."""
+    return [regime.name for regime in _REGIMES]
+
+
+def get_property_axis(name: str) -> PropertyAxis:
+    """Look a bundled property axis up by name."""
+    try:
+        return _PROPERTIES_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown property {name!r}; choose from {property_names()}") from None
+
+
+def get_regime(name: str) -> IdRegime:
+    """Look a bundled identifier regime up by name."""
+    try:
+        return _REGIMES_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown regime {name!r}; choose from {regime_names()}") from None

@@ -1,0 +1,319 @@
+"""``python -m repro.workloads`` — expand and run the workload matrix.
+
+Examples
+--------
+
+List the expanded cells (the count in the title is what CI asserts on)::
+
+    PYTHONPATH=src python -m repro.workloads --list
+
+Print the deterministic JSON expansion (byte-identical for one seed)::
+
+    PYTHONPATH=src python -m repro.workloads --expand
+
+Show the axes themselves::
+
+    PYTHONPATH=src python -m repro.workloads --families
+    PYTHONPATH=src python -m repro.workloads --properties
+
+Run the quick matrix on a 2-worker ParallelEngine against a persistent
+verdict store, then prove the warm re-run replays from disk::
+
+    PYTHONPATH=src python -m repro.workloads --run --quick \\
+        --engine parallel --workers 2 --store /tmp/verdicts
+    PYTHONPATH=src python -m repro.workloads --run --quick \\
+        --engine parallel --workers 2 --store /tmp/verdicts --min-replayed 0.9
+
+Run a filtered slice (per-axis include/exclude filters compose)::
+
+    PYTHONPATH=src python -m repro.workloads --run --quick \\
+        --family cycle --family path --property colouring --kind verify
+
+Resume a previous matrix report, re-running only missing/stale cells::
+
+    PYTHONPATH=src python -m repro.workloads --run \\
+        --resume benchmarks/BENCH_workload_matrix.json --store /tmp/verdicts
+
+The process exits non-zero when any cell misbehaves, so CI gates on matrix
+sweeps directly (exactly like ``python -m repro.campaign``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+from ..campaign.runner import replay_summary, resume_campaign, run_campaign, write_report
+from .axes import bundled_properties, bundled_regimes, property_names, regime_names
+from .families import bundled_families, family_names
+from .matrix import WorkloadMatrix, default_matrix, expand_json
+
+__all__ = ["main", "build_parser", "DEFAULT_MATRIX_REPORT"]
+
+#: Default location of matrix sweep reports, next to the benchmark records.
+DEFAULT_MATRIX_REPORT = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_workload_matrix.json"
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Expand and run the (family x property x decider x id-regime) workload matrix.",
+    )
+    parser.add_argument(
+        "cells",
+        nargs="*",
+        metavar="CELL",
+        help="exact cell names to restrict to (default: every cell the filters admit)",
+    )
+    parser.add_argument("--list", action="store_true", help="list the expanded cells and exit")
+    parser.add_argument(
+        "--expand",
+        action="store_true",
+        help="print the deterministic JSON expansion (per-cell digests included) and exit",
+    )
+    parser.add_argument(
+        "--families", action="store_true", help="list the graph-family axis and exit"
+    )
+    parser.add_argument(
+        "--properties",
+        action="store_true",
+        help="list the property axis (with decider constructions) and exit",
+    )
+    parser.add_argument("--run", action="store_true", help="run the selected cells as a campaign")
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=f"include only this graph family (repeatable). Known: {', '.join(family_names())}",
+    )
+    parser.add_argument(
+        "--exclude-family",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="drop this graph family after inclusion (repeatable)",
+    )
+    parser.add_argument(
+        "--property",
+        action="append",
+        default=None,
+        metavar="NAME",
+        dest="property_filter",
+        help=f"include only this property (repeatable). Known: {', '.join(property_names())}",
+    )
+    parser.add_argument(
+        "--regime",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=f"include only this identifier regime (repeatable). Known: {', '.join(regime_names())}",
+    )
+    parser.add_argument(
+        "--construction",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="include only this decider construction (repeatable), e.g. honest / lazy-guard",
+    )
+    parser.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        choices=["verify", "search"],
+        help="include only cells of this scenario kind (repeatable)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="matrix seed: every cell derives its own deterministic seed from it (default: 0)",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=["direct", "synchronous", "cached", "parallel"],
+        help="execution backend override (default: each cell's declared backend)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallel backend (implies --engine parallel)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="quick ladders and reduced search budgets"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent verdict store directory shared by every cell of the sweep",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="REPORT",
+        help="merge into an existing matrix report, re-running only missing/stale cells",
+    )
+    parser.add_argument(
+        "--min-replayed",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail unless at least this fraction of jobs was replayed from the store "
+        "(requires --store); used by CI to prove warm matrix sweeps",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=f"where to write the JSON report (default: {DEFAULT_MATRIX_REPORT})",
+    )
+    parser.add_argument(
+        "--no-report", action="store_true", help="skip writing the JSON report file"
+    )
+    return parser
+
+
+def _list_families() -> str:
+    rows = [
+        [
+            fam.name,
+            "x".join(str(s) for s in fam.sizes),
+            "x".join(str(s) for s in fam.quick_sizes),
+            "yes" if fam.connected else "no",
+            ",".join(sorted(fam.tags)) or "-",
+            fam.title,
+        ]
+        for fam in bundled_families()
+    ]
+    return format_table(
+        ["family", "sizes", "quick", "connected", "tags", "title"],
+        rows,
+        title=f"workload graph families ({len(rows)})",
+    )
+
+
+def _list_properties() -> str:
+    rows = []
+    for axis in bundled_properties():
+        for construction in axis.constructions:
+            rows.append(
+                [
+                    axis.name,
+                    construction.name,
+                    "trap" if construction.expect_defeat else "honest",
+                    ",".join(construction.trap_families) or "-",
+                    ",".join(sorted(axis.requires_tags)) or "-",
+                    axis.title,
+                ]
+            )
+    regimes = ", ".join(f"{r.name} ({r.kind})" for r in bundled_regimes())
+    table = format_table(
+        ["property", "construction", "role", "trap-families", "requires-tags", "title"],
+        rows,
+        title=f"workload properties and decider constructions ({len(rows)})",
+    )
+    return f"{table}\n\nidentifier regimes: {regimes}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.families:
+        print(_list_families())
+        return 0
+    if args.properties:
+        print(_list_properties())
+        return 0
+    if args.min_replayed is not None and args.store is None:
+        parser.error("--min-replayed requires --store")
+    if args.workers is not None and args.engine is not None and args.engine != "parallel":
+        parser.error("--workers requires the parallel backend (drop --engine or use --engine parallel)")
+    matrix: WorkloadMatrix = default_matrix(seed=args.seed)
+    try:
+        cells = matrix.cells(
+            families=args.family,
+            properties=args.property_filter,
+            regimes=args.regime,
+            constructions=args.construction,
+            kinds=args.kind,
+            exclude_families=args.exclude_family,
+            names=args.cells or None,
+        )
+    except KeyError as exc:
+        parser.error(str(exc))
+    if args.list:
+        rows = [cell.as_row() for cell in cells]
+        print(
+            format_table(
+                ["cell", "kind", "family", "property", "construction", "regime", "sizes"],
+                rows,
+                title=f"workload matrix: {len(rows)} expanded scenario cells (seed {args.seed})",
+            )
+        )
+        return 0
+    if args.expand:
+        print(expand_json(cells), end="")
+        return 0
+    if not args.run:
+        parser.error("nothing to do: pass --list, --expand, --families, --properties or --run")
+    if not cells:
+        parser.error("the filters admit no cells; see --list")
+    specs = [cell.spec for cell in cells]
+    if args.resume is not None:
+        resume_path = Path(args.resume)
+        if not resume_path.exists():
+            parser.error(f"--resume report {resume_path} does not exist")
+        report, reused = resume_campaign(
+            resume_path,
+            scenarios=specs,
+            engine=args.engine,
+            workers=args.workers,
+            quick=True if args.quick else None,
+            store=args.store,
+        )
+        print(
+            f"resumed from {resume_path}: {reused} cell(s) reused, {len(specs) - reused} re-run"
+        )
+    else:
+        report = run_campaign(
+            specs,
+            engine=args.engine,
+            workers=args.workers,
+            quick=args.quick,
+            name=f"workload-matrix(seed={args.seed})",
+            store=args.store,
+        )
+    print(report.summary_table())
+    if not args.no_report:
+        default = Path(args.resume) if args.resume is not None else DEFAULT_MATRIX_REPORT
+        path = write_report(report, args.output if args.output is not None else default)
+        print(f"report written to {path}")
+    ok = report.ok
+    if args.min_replayed is not None:
+        replayed, total, fraction, resumed = replay_summary(report)
+        print(
+            f"store replay: {replayed}/{total} jobs "
+            f"({fraction:.1%}, floor {args.min_replayed:.1%}"
+            + (f"; {resumed} resumed cell(s) excluded)" if resumed else ")")
+        )
+        if fraction < args.min_replayed:
+            print(
+                f"FAIL: only {fraction:.1%} of jobs replayed from the store "
+                f"(floor {args.min_replayed:.1%})"
+            )
+            ok = False
+    print(f"workload matrix {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""The graph-family axis of the workload matrix.
+
+A :class:`WorkloadFamily` wraps one generator from
+:mod:`repro.graphs.generators` as a declarative axis value: a seedable
+``build(size, seed)`` callable plus the structural metadata the matrix
+needs for compatibility filtering (tags) and that the determinism tests
+validate generated instances against (expected node count, degree bound,
+connectivity).
+
+The bundled families deliberately span the spectrum the related work says
+locality results are sensitive to: the paper's own cycles/paths/grids/tori,
+dense families (complete graphs), sparse and degenerate families
+(caterpillars, stars), high-symmetry families (hypercubes, random regular
+graphs), and pathological edge cases (disjoint unions, single-node and
+single-edge graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from ..graphs.generators import (
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_regular_graph,
+    single_edge_graph,
+    single_node_graph,
+    star_graph,
+    torus_graph,
+)
+from ..graphs.labelled_graph import LabelledGraph
+
+__all__ = ["WorkloadFamily", "bundled_families", "family_names", "get_family"]
+
+#: Tag meaning "every instance is a simple path" (enables path-language cells).
+PATH_SHAPED = "path-shaped"
+#: Tag meaning "the generator draws from a seeded RNG" (seed stability is tested).
+SEEDED = "seeded"
+#: Tag meaning "instances may be disconnected or otherwise degenerate".
+DEGENERATE = "degenerate"
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """One value of the graph-family axis.
+
+    ``build(size, seed)`` materialises the instance for one ladder rung;
+    deterministic generators ignore ``seed``.  ``expected_nodes(size)``
+    (when set) and ``degree_bound(size)`` let tests validate generated
+    instances without re-deriving generator internals, and ``connected``
+    declares whether the generator guarantees connectivity.
+    """
+
+    name: str
+    title: str
+    build: Callable[[int, int], LabelledGraph]
+    sizes: Tuple[int, ...]
+    quick_sizes: Tuple[int, ...]
+    expected_nodes: Optional[Callable[[int], int]] = None
+    degree_bound: Optional[Callable[[int], int]] = None
+    connected: bool = True
+    tags: FrozenSet[str] = field(default_factory=frozenset)
+
+    def ladder(self, quick: bool) -> Tuple[int, ...]:
+        """The size ladder for the given mode."""
+        return self.quick_sizes if quick and self.quick_sizes else self.sizes
+
+
+_FAMILIES: Tuple[WorkloadFamily, ...] = (
+    WorkloadFamily(
+        name="cycle",
+        title="cycles C_n (the paper's promise-problem topology)",
+        build=lambda size, seed: cycle_graph(size),
+        sizes=(8, 12, 16),
+        quick_sizes=(6,),
+        expected_nodes=lambda size: size,
+        degree_bound=lambda size: 2,
+    ),
+    WorkloadFamily(
+        name="path",
+        title="paths P_n",
+        build=lambda size, seed: path_graph(size),
+        sizes=(8, 12, 16),
+        quick_sizes=(6,),
+        expected_nodes=lambda size: size,
+        degree_bound=lambda size: 2,
+        tags=frozenset({PATH_SHAPED}),
+    ),
+    WorkloadFamily(
+        name="star",
+        title="stars K_{1,size} (one hub, pendant leaves)",
+        build=lambda size, seed: star_graph(size),
+        sizes=(6, 10),
+        quick_sizes=(4,),
+        expected_nodes=lambda size: size + 1,
+        degree_bound=lambda size: size,
+    ),
+    WorkloadFamily(
+        name="complete",
+        title="complete graphs K_n (dense extreme)",
+        build=lambda size, seed: complete_graph(size),
+        sizes=(4, 5, 6),
+        quick_sizes=(4,),
+        expected_nodes=lambda size: size,
+        degree_bound=lambda size: size - 1,
+    ),
+    WorkloadFamily(
+        name="grid",
+        title="square grids (the Section-3 execution-table substrate)",
+        build=lambda size, seed: grid_graph(size, size),
+        sizes=(3, 4),
+        quick_sizes=(2,),
+        expected_nodes=lambda size: size * size,
+        degree_bound=lambda size: 4,
+    ),
+    WorkloadFamily(
+        name="torus",
+        title="3 x size tori (the grid impostors of Section 3)",
+        build=lambda size, seed: torus_graph(3, size),
+        sizes=(3, 4, 5),
+        quick_sizes=(3,),
+        expected_nodes=lambda size: 3 * size,
+        degree_bound=lambda size: 4,
+    ),
+    WorkloadFamily(
+        name="hypercube",
+        title="hypercubes Q_dim (high-symmetry, dim-regular)",
+        build=lambda size, seed: hypercube_graph(size),
+        sizes=(2, 3, 4),
+        quick_sizes=(2,),
+        expected_nodes=lambda size: 1 << size,
+        degree_bound=lambda size: size,
+    ),
+    WorkloadFamily(
+        name="random-regular",
+        title="seeded random 3-regular graphs (pairing model)",
+        build=lambda size, seed: random_regular_graph(size, 3, seed=seed),
+        sizes=(8, 10),
+        quick_sizes=(6,),
+        expected_nodes=lambda size: size,
+        degree_bound=lambda size: 3,
+        connected=False,  # the pairing model does not guarantee connectivity
+        tags=frozenset({SEEDED}),
+    ),
+    WorkloadFamily(
+        name="caterpillar",
+        title="seeded caterpillars (spine path + random pendant legs)",
+        build=lambda size, seed: caterpillar_graph(size, seed=seed),
+        sizes=(6, 8),
+        quick_sizes=(4,),
+        degree_bound=lambda size: 4,  # 2 spine neighbours + max_legs
+        tags=frozenset({SEEDED}),
+    ),
+    WorkloadFamily(
+        name="disjoint-cycles",
+        title="disjoint unions of two cycles (disconnected edge case)",
+        build=lambda size, seed: disjoint_cycles(2, size),
+        sizes=(4, 6),
+        quick_sizes=(3,),
+        expected_nodes=lambda size: 2 * size,
+        degree_bound=lambda size: 2,
+        connected=False,
+        tags=frozenset({DEGENERATE}),
+    ),
+    WorkloadFamily(
+        name="single-node",
+        title="the one-node graph (smallest legal input)",
+        build=lambda size, seed: single_node_graph(),
+        sizes=(1,),
+        quick_sizes=(1,),
+        expected_nodes=lambda size: 1,
+        degree_bound=lambda size: 0,
+        tags=frozenset({DEGENERATE, PATH_SHAPED}),
+    ),
+    WorkloadFamily(
+        name="single-edge",
+        title="the one-edge graph (smallest input with an edge)",
+        build=lambda size, seed: single_edge_graph(),
+        sizes=(2,),
+        quick_sizes=(2,),
+        expected_nodes=lambda size: 2,
+        degree_bound=lambda size: 1,
+        tags=frozenset({DEGENERATE, PATH_SHAPED}),
+    ),
+)
+
+_BY_NAME: Dict[str, WorkloadFamily] = {fam.name: fam for fam in _FAMILIES}
+
+
+def bundled_families() -> List[WorkloadFamily]:
+    """All bundled graph families, in bundle order."""
+    return list(_FAMILIES)
+
+
+def family_names() -> List[str]:
+    """Names of the bundled families."""
+    return [fam.name for fam in _FAMILIES]
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """Look a bundled family up by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown family {name!r}; choose from {family_names()}") from None

@@ -1,0 +1,293 @@
+"""The workload matrix: cross the axes into materialised scenario cells.
+
+A :class:`WorkloadMatrix` crosses **graph families** x **properties** x
+**decider constructions** x **identifier regimes** into
+:class:`~repro.campaign.spec.ScenarioSpec` cells that run through the
+ordinary campaign machinery (:func:`~repro.campaign.runner.run_campaign` /
+:func:`~repro.campaign.runner.resume_campaign`), so the
+:class:`~repro.engine.parallel.ParallelEngine` shards cells and a
+:class:`~repro.engine.persistent.VerdictStore` replays them exactly like
+the hand-written bundle.  Compatibility is declarative: a property axis
+names the family tags it requires, and trap constructions whitelist the
+families they are hunted on.
+
+Determinism: every cell derives its sampling/search seed from the matrix
+seed and its own name (SHA-256, platform independent), and the expansion
+(:func:`expand_records` / :func:`expand_json`) contains no timestamps, so
+the same matrix seed always produces a byte-identical expansion and the
+same per-cell spec digests — the property the resumable sweeps and the
+worker-count determinism tests are built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.spec import ScenarioSpec, ScenarioWorkload
+from ..decision.property import InstanceFamily
+from .axes import (
+    DeciderConstruction,
+    IdRegime,
+    PropertyAxis,
+    bundled_properties,
+    bundled_regimes,
+)
+from .families import WorkloadFamily, bundled_families
+
+__all__ = [
+    "WorkloadCell",
+    "WorkloadMatrix",
+    "default_matrix",
+    "expand_records",
+    "expand_json",
+]
+
+#: Offset between the seeds of consecutive ladder rungs of one cell.
+_RUNG_SEED_STRIDE = 7919
+
+#: Per-instance search budgets: traps need room to climb, honest deciders
+#: are Id-oblivious and settle in one canonical evaluation anyway.
+_TRAP_BUDGET, _TRAP_QUICK_BUDGET = 600, 300
+_HONEST_BUDGET, _HONEST_QUICK_BUDGET = 64, 32
+
+
+def cell_seed(matrix_seed: int, name: str) -> int:
+    """Derive one cell's deterministic seed from the matrix seed and cell name."""
+    token = hashlib.sha256(f"{matrix_seed}|{name}".encode("utf-8")).digest()
+    return int.from_bytes(token[:4], "big") & 0x7FFFFFFF
+
+
+def _make_build(
+    family: WorkloadFamily,
+    axis: PropertyAxis,
+    construction: DeciderConstruction,
+    regime: IdRegime,
+) -> Callable[[ScenarioSpec, Tuple[int, ...]], ScenarioWorkload]:
+    """Build callable for one cell: decorate the family's ladder into a workload."""
+
+    def build(spec: ScenarioSpec, sizes: Tuple[int, ...]) -> ScenarioWorkload:
+        yes, no = [], []
+        for idx, size in enumerate(sizes):
+            graph = family.build(size, spec.seed + _RUNG_SEED_STRIDE * idx)
+            yes_graph = axis.yes_instance(graph)
+            if yes_graph is not None:
+                yes.append(yes_graph)
+            no_graph = axis.no_instance(graph)
+            if no_graph is not None:
+                no.append(no_graph)
+        instances = InstanceFamily(
+            name=f"{family.name}:{axis.name}(sizes={sizes})",
+            yes_instances=yes,
+            no_instances=no,
+            description=f"{axis.title} on {family.title}",
+        )
+        prop = axis.make_property()
+        workload = ScenarioWorkload(
+            family=instances,
+            decider=construction.make(prop, instances),
+            prop=prop,
+        )
+        regime.configure(workload, spec)
+        return workload
+
+    return build
+
+
+@dataclass(frozen=True)
+class WorkloadCell:
+    """One expanded cell of the matrix: the four axis values plus the spec."""
+
+    family: WorkloadFamily
+    axis: PropertyAxis
+    construction: DeciderConstruction
+    regime: IdRegime
+    spec: ScenarioSpec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def digest(self, quick: bool) -> str:
+        """The cell's deterministic workload digest (see ``ScenarioSpec.digest``)."""
+        return self.spec.digest(quick)
+
+    def as_record(self) -> Dict[str, object]:
+        """JSON-ready record of the cell (the ``--expand`` output row)."""
+        return {
+            "name": self.name,
+            "family": self.family.name,
+            "property": self.axis.name,
+            "construction": self.construction.name,
+            "regime": self.regime.name,
+            "kind": self.spec.kind,
+            "sizes": list(self.spec.sizes),
+            "quick_sizes": list(self.spec.quick_sizes),
+            "seed": self.spec.seed,
+            "expect_correct": self.spec.expect_correct,
+            "digest_full": self.digest(False),
+            "digest_quick": self.digest(True),
+        }
+
+    def as_row(self) -> List[str]:
+        """The ``--list`` table row."""
+        return [
+            self.name,
+            self.spec.kind,
+            self.family.name,
+            self.axis.name,
+            self.construction.name,
+            self.regime.name,
+            "x".join(str(s) for s in self.spec.sizes) or "-",
+        ]
+
+
+class WorkloadMatrix:
+    """Declarative cross of the four axes with per-axis include/exclude filters."""
+
+    def __init__(
+        self,
+        families: Optional[Sequence[WorkloadFamily]] = None,
+        properties: Optional[Sequence[PropertyAxis]] = None,
+        regimes: Optional[Sequence[IdRegime]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.families = list(families) if families is not None else bundled_families()
+        self.properties = list(properties) if properties is not None else bundled_properties()
+        self.regimes = list(regimes) if regimes is not None else bundled_regimes()
+        self.seed = seed
+
+    def _spec_for(
+        self,
+        family: WorkloadFamily,
+        axis: PropertyAxis,
+        construction: DeciderConstruction,
+        regime: IdRegime,
+    ) -> ScenarioSpec:
+        name = f"mx:{family.name}:{axis.name}:{construction.name}:{regime.name}"
+        trap = construction.expect_defeat
+        return ScenarioSpec(
+            name=name,
+            title=f"{axis.title} | {family.title} | {regime.name} identifiers",
+            section="matrix",
+            kind=regime.kind,
+            graph_family=family.name,
+            property_name=axis.name,
+            decider_name=construction.name,
+            build=_make_build(family, axis, construction, regime),
+            sizes=family.sizes,
+            quick_sizes=family.quick_sizes,
+            samples=3,
+            seed=cell_seed(self.seed, name),
+            strategy="hill-climb",
+            max_evaluations=_TRAP_BUDGET if trap else _HONEST_BUDGET,
+            quick_max_evaluations=_TRAP_QUICK_BUDGET if trap else _HONEST_QUICK_BUDGET,
+            batch_size=16,
+            engine="cached",
+            expect_correct=not trap,
+            description=f"matrix cell: {family.name} x {axis.name} x {construction.name} x {regime.name}",
+        )
+
+    def cells(
+        self,
+        families: Optional[Sequence[str]] = None,
+        properties: Optional[Sequence[str]] = None,
+        regimes: Optional[Sequence[str]] = None,
+        constructions: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        exclude_families: Sequence[str] = (),
+        names: Optional[Sequence[str]] = None,
+    ) -> List[WorkloadCell]:
+        """Expand the matrix into cells, applying the per-axis filters.
+
+        Every filter is an include-list of axis names (``None`` = no
+        filter); ``exclude_families`` removes families after inclusion and
+        ``names`` restricts to exact cell names (the CLI's positional
+        arguments).  Unknown names in any filter raise ``KeyError`` so a
+        typo cannot silently produce an empty sweep.
+        """
+        self._check_filter(families, {f.name for f in self.families}, "family")
+        self._check_filter(exclude_families, {f.name for f in self.families}, "family")
+        self._check_filter(properties, {p.name for p in self.properties}, "property")
+        self._check_filter(regimes, {r.name for r in self.regimes}, "regime")
+        self._check_filter(
+            constructions,
+            {c.name for p in self.properties for c in p.constructions},
+            "construction",
+        )
+        out: List[WorkloadCell] = []
+        for family in self.families:
+            if families is not None and family.name not in families:
+                continue
+            if family.name in exclude_families:
+                continue
+            for axis in self.properties:
+                if properties is not None and axis.name not in properties:
+                    continue
+                if not axis.supports(family):
+                    continue
+                for construction in axis.constructions:
+                    if constructions is not None and construction.name not in constructions:
+                        continue
+                    for regime in self.regimes:
+                        if regimes is not None and regime.name not in regimes:
+                            continue
+                        if construction.expect_defeat:
+                            # Traps are hunted, never swept: search cells
+                            # only, and only on their whitelisted families.
+                            if regime.kind != "search":
+                                continue
+                            if family.name not in construction.trap_families:
+                                continue
+                        if kinds is not None and regime.kind not in kinds:
+                            continue
+                        cell = WorkloadCell(
+                            family=family,
+                            axis=axis,
+                            construction=construction,
+                            regime=regime,
+                            spec=self._spec_for(family, axis, construction, regime),
+                        )
+                        if names is not None and cell.name not in names:
+                            continue
+                        out.append(cell)
+        if names is not None:
+            missing = sorted(set(names) - {cell.name for cell in out})
+            if missing:
+                # Distinguish a typo from a real cell the other filters
+                # excluded — "unknown" would be a misleading diagnosis.
+                every_name = {cell.name for cell in self.cells()}
+                unknown = sorted(set(missing) - every_name)
+                if unknown:
+                    raise KeyError(f"unknown matrix cell(s) {unknown}; see --list")
+                raise KeyError(
+                    f"matrix cell(s) {missing} exist but are excluded by the active filters"
+                )
+        return out
+
+    def scenarios(self, **filters) -> List[ScenarioSpec]:
+        """The expanded cells as plain campaign scenario specs."""
+        return [cell.spec for cell in self.cells(**filters)]
+
+    @staticmethod
+    def _check_filter(chosen: Optional[Sequence[str]], known: set, axis: str) -> None:
+        unknown = sorted(set(chosen or ()) - known)
+        if unknown:
+            raise KeyError(f"unknown {axis} name(s) {unknown}; choose from {sorted(known)}")
+
+
+def default_matrix(seed: int = 0) -> WorkloadMatrix:
+    """The bundled matrix: all bundled families x properties x regimes."""
+    return WorkloadMatrix(seed=seed)
+
+
+def expand_records(cells: Sequence[WorkloadCell]) -> List[Dict[str, object]]:
+    """JSON-ready records for a list of cells (the ``--expand`` payload)."""
+    return [cell.as_record() for cell in cells]
+
+
+def expand_json(cells: Sequence[WorkloadCell]) -> str:
+    """Deterministic JSON expansion: same matrix seed, byte-identical output."""
+    return json.dumps(expand_records(cells), indent=2, sort_keys=True) + "\n"

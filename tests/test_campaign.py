@@ -225,6 +225,70 @@ def test_regression_gate_rejects_unusable_fresh_record(tmp_path):
     assert "fresh record" in proc.stderr
 
 
+def _gate_specs(tmp_path, *triples):
+    """Write one record per (key, baseline, fresh, floor) and build --gate args."""
+    args = []
+    for idx, (key, baseline_value, fresh_value, floor) in enumerate(triples):
+        baseline = tmp_path / f"baseline{idx}.json"
+        fresh = tmp_path / f"fresh{idx}.json"
+        baseline.write_text(json.dumps({key: baseline_value}))
+        fresh.write_text(json.dumps({key: fresh_value}))
+        args += ["--gate", f"{baseline}:{fresh}:{key}:{floor}"]
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "check_regression.py"), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_consolidated_gate_passes_all_records(tmp_path):
+    proc = _gate_specs(
+        tmp_path,
+        ("speedup_direct_over_cached", 10.0, 8.0, 3.0),
+        ("cells_per_second_serial", 500.0, 400.0, 2.0),
+    )
+    assert proc.returncode == 0, proc.stdout
+    assert "across 2 gate(s)" in proc.stdout
+
+
+def test_consolidated_gate_reports_every_failure(tmp_path):
+    # No short-circuit: both failing gates must appear in one run's output.
+    proc = _gate_specs(
+        tmp_path,
+        ("speedup_direct_over_cached", 10.0, 1.0, 3.0),
+        ("cells_per_second_serial", 500.0, 1.0, 2.0),
+    )
+    assert proc.returncode == 1
+    assert "speedup_direct_over_cached" in proc.stdout
+    assert "cells_per_second_serial" in proc.stdout
+    assert proc.stdout.count("FAIL") == 2
+
+
+def test_consolidated_gate_rejects_positional_and_flag_mixing(tmp_path):
+    record = tmp_path / "record.json"
+    record.write_text(json.dumps({"speedup_direct_over_cached": 8.0}))
+    gate = f"{record}:{record}:speedup_direct_over_cached:3.0"
+    for extra in (["--min-speedup", "5.0"], ["--key", "other"], [str(record), str(record)]):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "benchmarks" / "check_regression.py"),
+             "--gate", gate, *extra],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2, f"{extra} should be a usage error"
+
+
+def test_consolidated_gate_rejects_malformed_spec(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks" / "check_regression.py"),
+         "--gate", "not-a-gate-spec"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 2
+    assert "BASELINE:CURRENT:KEY:FLOOR" in proc.stderr
+
+
 def test_regression_gate_rejects_missing_key(tmp_path):
     baseline = tmp_path / "baseline.json"
     fresh = tmp_path / "fresh.json"
