@@ -252,6 +252,27 @@ class CampaignReport:
         """Total jobs freshly computed across all scenarios."""
         return sum(r.jobs_computed for r in self.results)
 
+    #: Parallel-backend counters aggregated into the report head, so a
+    #: regression (forks per sweep creeping up, payloads re-shipped every
+    #: batch) is observable in the JSON without trawling per-scenario stats.
+    PARALLEL_COUNTER_KEYS = (
+        "parallel_batches",
+        "parallel_chunks",
+        "parallel_forks",
+        "payload_ships",
+        "payload_ship_bytes",
+        "coalesced_batches",
+        "worker_deaths_recovered",
+    )
+
+    def parallel_stats(self) -> Dict[str, int]:
+        """Sum of the parallel-backend counters across all scenarios."""
+        totals = {key: 0 for key in self.PARALLEL_COUNTER_KEYS}
+        for result in self.results:
+            for key in self.PARALLEL_COUNTER_KEYS:
+                totals[key] += int(result.engine_stats.get(key, 0))
+        return totals
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "campaign": self.name,
@@ -260,6 +281,7 @@ class CampaignReport:
             "ok": self.ok,
             "jobs_computed": self.jobs_computed,
             "jobs_replayed": self.jobs_replayed,
+            "parallel": self.parallel_stats(),
             "scenarios": [r.as_dict() for r in self.results],
         }
 

@@ -9,9 +9,9 @@
 * :class:`~repro.engine.cached.CachedEngine` — the fast path: batched BFS
   ball extraction per graph, canonical-key interning, and memoised
   evaluation per ``(algorithm, view key)``;
-* :class:`~repro.engine.parallel.ParallelEngine` — sweep sharding across a
-  ``multiprocessing`` pool of per-worker caching engines with deterministic
-  work partitioning;
+* :class:`~repro.engine.parallel.ParallelEngine` — sweep sharding across
+  the persistent :class:`~repro.engine.pool.WorkerPool` of warm caching
+  workers, with cost-model routing and deterministic work partitioning;
 * :class:`~repro.engine.persistent.PersistentEngine` — cross-run
   persistence: wraps any backend (``engine.with_store(path)``) with an
   on-disk :class:`~repro.engine.persistent.VerdictStore` so settled jobs
@@ -39,7 +39,17 @@ from .persistent import (
     StoreCorruptionWarning,
     VerdictStore,
     algorithm_fingerprint,
+    exact_algorithm_fingerprint,
     job_digest,
+)
+from .pool import (
+    CostModel,
+    WorkerPool,
+    get_pool,
+    reset_shared_local_engine,
+    shared_cost_model,
+    shared_local_engine,
+    shutdown_pool,
 )
 from .store import LRUStore
 from .synchronous import SynchronousEngine
@@ -59,7 +69,15 @@ __all__ = [
     "VerdictStore",
     "StoreCorruptionWarning",
     "algorithm_fingerprint",
+    "exact_algorithm_fingerprint",
     "job_digest",
     "partition_chunks",
     "LRUStore",
+    "CostModel",
+    "WorkerPool",
+    "get_pool",
+    "reset_shared_local_engine",
+    "shared_cost_model",
+    "shared_local_engine",
+    "shutdown_pool",
 ]

@@ -268,6 +268,24 @@ class ExecutionEngine(ABC):
 
         return PersistentEngine(store, inner=self)
 
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        """Release any long-lived execution resources (worker pools).
+
+        A no-op for the in-process backends; the parallel backend stops
+        its persistent workers here.  Engines stay usable after shutdown —
+        resources are re-acquired lazily.
+        """
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -1,40 +1,53 @@
-"""Parallel backend: shard sweeps across a process pool of caching engines.
+"""Parallel backend: shard sweeps across the persistent worker pool.
 
 The verification workloads of this reproduction — ``verify_decider`` sweeps
 over identifier assignments, Monte-Carlo estimation of randomised deciders,
 campaign runs over whole scenario grids — are embarrassingly parallel: the
 jobs share no state beyond the (immutable) input graphs and algorithms.
-:class:`ParallelEngine` exploits that by fanning the batched drivers
+:class:`ParallelEngine` fans the batched drivers
 (:meth:`~repro.engine.base.ExecutionEngine.run_many`,
 :meth:`~repro.engine.base.ExecutionEngine.run_randomised_many`) and large
-single-graph runs out over a ``multiprocessing`` pool:
+single-graph runs out over the process-wide persistent
+:class:`~repro.engine.pool.WorkerPool`:
 
-* **per-worker caching** — every worker owns a private
-  :class:`~repro.engine.cached.CachedEngine`, so the batched-BFS ball
-  extraction and the per-view memoisation run independently in each process
-  (no cross-process locking, no shared memory);
-* **deterministic work partitioning** — jobs are split into contiguous
-  chunks whose boundaries are a pure function of ``(job count, workers)``,
-  so a sweep is always sharded the same way, jobs touching the same graph
-  stay on the same worker (cache affinity), and results are re-assembled in
-  job order.  Verdicts are therefore identical to the serial backends for
-  any worker count — the equivalence suite asserts this, including the
-  degenerate 1-worker pool;
-* **fork-inherited payloads** — the pool is created per batch with the
-  ``fork`` start method and the work description published in a module
-  global *before* forking, so graphs and algorithms are inherited by the
-  children rather than pickled (closures and lambda-based
-  ``FunctionAlgorithm`` objects work unchanged); only chunk indices travel
-  to the workers and only output maps travel back;
+* **persistent, warm workers** — workers are forked once per process and
+  live across batches, sweeps, campaign scenarios and engine instances;
+  each owns a fork-time copy of the shared warm
+  :class:`~repro.engine.cached.CachedEngine`, so ball caches and verdict
+  memos survive where the old fork-per-batch design re-paid the fork tax
+  and started cold on every batch (the committed benchmark recorded that
+  design at 0.121x serial on the quick workload matrix);
+* **generation-tagged payloads** — a batch's payload is pickled once and
+  shipped to a worker only when the worker does not already hold it;
+  repeated sweeps over the same job list ship nothing but chunk indices.
+  Unpicklable payloads (lambda-based algorithms) fall back to re-forking
+  with the payload inherited through copy-on-write memory, preserving the
+  old semantics at the old cost — visible in the ``parallel_forks``
+  counter;
+* **cost-model routing** — an EWMA :class:`~repro.engine.pool.CostModel`
+  estimates the in-process and pool cost of every batch from its work
+  units (``nodes x (radius + 1)``); batches whose modelled pool win does
+  not cover the modelled dispatch/fork overhead run on the in-process
+  shared engine instead, so tiny matrix cells never pay IPC tax while
+  big sweeps shard fully.  ``adaptive=False`` disables the model and
+  routes on the ``min_parallel_*`` floors alone (tests use this to force
+  the pool on small inputs);
+* **deterministic work partitioning** — jobs are split into chunks of
+  *global* indices, contiguous by default or striped
+  (``partition="striped"``) for heterogeneous job lists sorted big-first;
+  either way results are re-assembled in job order and randomised
+  per-node seeds derive from ``(run seed, global index)`` via
+  :func:`~repro.engine.base.derive_node_seed`, so verdicts are identical
+  to the serial backends for any worker count and either partitioning —
+  the equivalence suite asserts this;
+* **worker-side store replay** — when a
+  :class:`~repro.engine.persistent.PersistentEngine` wraps this engine it
+  calls :meth:`attach_store`, and workers mount that store read-only so
+  settled jobs replay from disk inside the pool too;
 * **graceful serial fallback** — with ``workers=1``, on platforms without
-  ``fork``, inside an existing pool worker, or for batches below the
-  parallelism threshold, execution falls back to an in-process
-  :class:`~repro.engine.cached.CachedEngine` with identical semantics.
-
-Randomised runs stay reproducible under sharding because per-node seeds are
-derived from ``(run seed, global node index)`` via
-:func:`~repro.engine.base.derive_node_seed` — a worker evaluating the chunk
-``[k, k+1, ...)`` seeds node ``i`` exactly as the serial loop would.
+  ``fork``, inside an existing pool worker, or when the pool cannot be
+  (re)built, execution falls back to the in-process shared engine with
+  identical semantics.
 """
 
 from __future__ import annotations
@@ -42,30 +55,55 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
-from .base import ExecutionEngine, derive_node_seed
-from .cached import CachedEngine
+from .base import ExecutionEngine
+from .pool import (
+    CostModel,
+    PoolPayload,
+    WorkerCrashError,
+    get_pool,
+    shared_cost_model,
+    shared_local_engine,
+    shutdown_pool,
+)
 
 if TYPE_CHECKING:  # type-only; keeps engine ↔ local_model import-cycle-free
     from ..local_model.algorithm import LocalAlgorithm, RandomisedLocalAlgorithm
 
 __all__ = ["ParallelEngine", "partition_chunks"]
 
+#: Chunk type: contiguous chunks are ``(start, stop)`` tuples (the
+#: historical shape the partition tests pin down), striped chunks are
+#: ``range`` objects.  Both describe a set of global job indices.
+Chunk = Union[Tuple[int, int], range]
 
-def partition_chunks(count: int, shards: int) -> List[Tuple[int, int]]:
-    """Split ``range(count)`` into at most ``shards`` contiguous ``(start, stop)`` chunks.
 
-    The partition is deterministic: chunk sizes differ by at most one and
-    depend only on ``(count, shards)``.  Empty chunks are never produced.
+def partition_chunks(count: int, shards: int, mode: str = "contiguous") -> List[Chunk]:
+    """Split ``range(count)`` into at most ``shards`` non-empty chunks.
+
+    ``contiguous`` (the default) yields ``(start, stop)`` index windows
+    whose sizes differ by at most one — jobs touching the same graph stay
+    on the same worker (cache affinity).  ``striped`` yields
+    ``range(k, count, shards)`` interleavings — heterogeneous job lists
+    sorted big-first (campaign cells) spread their large jobs across all
+    workers instead of landing them on worker 0.  Either partition is a
+    pure function of ``(count, shards, mode)`` and covers every index
+    exactly once; which one is chosen can never change verdicts, only
+    load balance (the equivalence tests assert identity for both).
     """
     shards = max(1, min(shards, count))
+    if mode == "striped":
+        return [range(k, count, shards) for k in range(shards) if k < count]
+    if mode != "contiguous":
+        raise ValueError(f"unknown partition mode {mode!r}; choose 'contiguous' or 'striped'")
     base, excess = divmod(count, shards)
-    chunks: List[Tuple[int, int]] = []
+    chunks: List[Chunk] = []
     start = 0
     for k in range(shards):
         stop = start + base + (1 if k < excess else 0)
@@ -75,91 +113,9 @@ def partition_chunks(count: int, shards: int) -> List[Tuple[int, int]]:
     return chunks
 
 
-# ---------------------------------------------------------------------- #
-# Worker-side machinery
-# ---------------------------------------------------------------------- #
-#
-# The payload is published in a module global immediately before the pool is
-# forked; children inherit it through copy-on-write memory.  Workers build
-# their own CachedEngine in the pool initializer and receive only chunk
-# indices through the task queue.
-
-@dataclass
-class _Payload:
-    kind: str  # "run" | "run_randomised" | "run_many" | "run_randomised_many"
-    algorithm: Any
-    chunks: List[Tuple[int, int]]
-    # single-graph sharding
-    graph: Optional[LabelledGraph] = None
-    ids: Optional[IdAssignment] = None
-    nodes: Optional[List[Node]] = None
-    base_seed: Optional[int] = None
-    # batched jobs
-    jobs: Optional[Sequence[Tuple]] = None
-
-
-_PAYLOAD: Optional[_Payload] = None
-_WORKER_ENGINE: Optional[CachedEngine] = None
-
-
-def _init_worker() -> None:
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = CachedEngine()
-
-
-def _run_chunk(chunk_index: int):
-    """Execute one chunk of the published payload in a pool worker."""
-    payload = _PAYLOAD
-    engine = _WORKER_ENGINE
-    assert payload is not None and engine is not None
-    # A worker may process several chunks; report each chunk's own counters
-    # (caches stay warm) so the parent does not absorb earlier chunks twice.
-    engine.reset_stats()
-    start, stop = payload.chunks[chunk_index]
-    algorithm = payload.algorithm
-    if payload.kind == "run":
-        outputs = engine.run(algorithm, payload.graph, payload.ids, nodes=payload.nodes[start:stop])
-    elif payload.kind == "run_randomised":
-        outputs = _evaluate_randomised_slice(
-            engine, algorithm, payload.graph, payload.ids, payload.base_seed, payload.nodes, start, stop
-        )
-    elif payload.kind == "run_many":
-        outputs = [engine.run(algorithm, graph, ids) for graph, ids in payload.jobs[start:stop]]
-    elif payload.kind == "run_randomised_many":
-        outputs = [
-            engine.run_randomised(algorithm, graph, ids, seed)
-            for graph, ids, seed in payload.jobs[start:stop]
-        ]
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unknown payload kind {payload.kind!r}")
-    return outputs, engine.stats.as_dict()
-
-
-def _evaluate_randomised_slice(
-    engine: ExecutionEngine,
-    algorithm: "RandomisedLocalAlgorithm",
-    graph: LabelledGraph,
-    ids: Optional[IdAssignment],
-    base_seed: int,
-    nodes: List[Node],
-    start: int,
-    stop: int,
-) -> Dict[Node, Hashable]:
-    """Randomised evaluation of ``nodes[start:stop]`` with *global* per-node seeds.
-
-    Mirrors :meth:`ExecutionEngine.run_randomised` exactly: node ``i`` of
-    the full node list is seeded from ``(base_seed, i)`` no matter which
-    shard evaluates it, so sharded and serial runs agree bit-for-bit.
-    """
-    chunk = nodes[start:stop]
-    view_map = engine.views(graph, algorithm.radius, ids, chunk)
-    outputs: Dict[Node, Hashable] = {}
-    for offset, v in enumerate(chunk):
-        rng = random.Random(derive_node_seed(base_seed, start + offset))
-        engine.stats.nodes_run += 1
-        engine.stats.evaluations += 1
-        outputs[v] = algorithm.evaluate(view_map[v], rng)
-    return outputs
+def _as_ranges(chunks: Sequence[Chunk]) -> List[range]:
+    """Normalise chunks to ``range`` objects (the pool's wire format)."""
+    return [chunk if isinstance(chunk, range) else range(chunk[0], chunk[1]) for chunk in chunks]
 
 
 # ---------------------------------------------------------------------- #
@@ -168,20 +124,38 @@ def _evaluate_randomised_slice(
 
 
 class ParallelEngine(ExecutionEngine):
-    """Shard sweeps over a ``multiprocessing`` pool of per-worker caching engines.
+    """Shard sweeps over the persistent pool of warm caching workers.
 
     Parameters
     ----------
     workers:
-        Number of worker processes.  Defaults to the machine's CPU count
-        (capped at 8).  ``workers=1`` is the degenerate pool: everything
-        runs serially through the in-process caching engine.
+        Number of pool workers to shard over.  Defaults to the machine's
+        CPU count (capped at 8).  ``workers=1`` never uses the pool.
     min_parallel_jobs:
         Smallest batch (jobs in ``run_many`` / ``run_randomised_many``)
-        worth forking a pool for; smaller batches run serially.
+        eligible for the pool; smaller batches always run in-process.
     min_parallel_nodes:
-        Smallest single-graph node count worth sharding ``run`` /
-        ``run_randomised`` for.
+        Smallest single-graph node count eligible for sharding ``run`` /
+        ``run_randomised``.
+    adaptive:
+        Route batches through the :class:`~repro.engine.pool.CostModel`:
+        a batch above the floors still runs in-process when its modelled
+        pool time (dispatch overhead, fork cost if the pool is cold)
+        exceeds its modelled in-process time.  ``False`` forces the pool
+        for every batch above the floors (deterministic routing for
+        tests and measurements).
+    partition:
+        ``"contiguous"`` (default) or ``"striped"`` — see
+        :func:`partition_chunks`.  Verdicts are identical either way.
+    cost_model:
+        A private :class:`~repro.engine.pool.CostModel`; defaults to the
+        process-wide shared one, so short-lived per-scenario engines
+        inherit what earlier batches learned.
+
+    The engine is a context manager: ``with ParallelEngine(4) as eng:``
+    shuts the (process-wide) pool down on exit.  All in-process execution
+    runs on the shared warm :func:`~repro.engine.pool.shared_local_engine`
+    with statistics attributed to this engine.
     """
 
     name = "parallel"
@@ -191,84 +165,113 @@ class ParallelEngine(ExecutionEngine):
         workers: Optional[int] = None,
         min_parallel_jobs: int = 4,
         min_parallel_nodes: int = 64,
+        adaptive: bool = True,
+        partition: str = "contiguous",
+        cost_model: Optional[CostModel] = None,
     ) -> None:
         super().__init__()
         if workers is None:
             workers = max(1, min(os.cpu_count() or 1, 8))
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        partition_chunks(0, 1, partition)  # validate the mode eagerly
         self.workers = workers
         self.min_parallel_jobs = min_parallel_jobs
         self.min_parallel_nodes = min_parallel_nodes
-        self._inner = CachedEngine()
-        # The in-process fallback engine reports into this engine's stats,
-        # so serial and sharded work are counted uniformly.
-        self._inner.stats = self.stats
+        self.adaptive = adaptive
+        self.partition = partition
+        self.cost_model = cost_model if cost_model is not None else shared_cost_model()
+        self._store_path: Optional[str] = None
 
-    def reset_stats(self) -> None:
-        super().reset_stats()
-        self._inner.stats = self.stats
+    # -- lifecycle --------------------------------------------------------- #
 
-    # -- serial delegation (views and single evaluations stay in-process) -- #
+    def shutdown(self) -> None:
+        """Stop the (process-wide) worker pool.  Idempotent; the next
+        batch that wants the pool re-forks it lazily."""
+        shutdown_pool()
 
-    def views(
-        self,
-        graph: LabelledGraph,
-        radius: int,
-        ids: Optional[IdAssignment] = None,
-        nodes: Optional[Iterable[Node]] = None,
-    ) -> Dict[Node, Neighbourhood]:
-        return self._inner.views(graph, radius, ids, nodes)
+    def attach_store(self, path: str) -> None:
+        """Mount the verdict store at ``path`` read-only inside workers.
 
-    def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
-        return self._inner.evaluate_view(algorithm, view)
+        Called by :class:`~repro.engine.persistent.PersistentEngine` when
+        it wraps this engine; future payloads carry the path so workers
+        replay settled jobs from disk instead of recomputing them.
+        """
+        self._store_path = path
 
-    # -- pool plumbing --------------------------------------------------- #
+    # -- the shared in-process engine -------------------------------------- #
+
+    @contextmanager
+    def _borrow_inner(self):
+        """The shared warm engine, with stats attributed to this engine."""
+        engine = shared_local_engine()
+        saved = engine.stats
+        engine.stats = self.stats
+        try:
+            yield engine
+        finally:
+            engine.stats = saved
+
+    # -- routing ----------------------------------------------------------- #
 
     def _can_fork(self) -> bool:
         if self.workers <= 1:
             return False
         if "fork" not in multiprocessing.get_all_start_methods():
             return False
-        # Pool workers are daemonic and may not spawn pools of their own.
+        # Pool workers are daemonic and may not fork pools of their own.
         if multiprocessing.current_process().daemon:
             return False
         return True
 
-    def _fan_out(self, payload: _Payload) -> Optional[List]:
-        """Run the payload's chunks on a freshly forked pool.
+    def _use_pool(self, count: int, floor: int, units: float) -> bool:
+        """Route one batch: persistent pool, or the in-process engine."""
+        if count == 0 or count < floor or not self._can_fork():
+            return False
+        if not self.adaptive:
+            return True
+        workers = min(self.workers, count)
+        warm = get_pool().is_warm(workers)
+        return self.cost_model.prefer_pool(units, workers, warm)
 
-        Returns the per-chunk results in chunk order, or ``None`` when the
-        pool could not be created (the caller then falls back to serial
-        execution).
+    @staticmethod
+    def _units(node_count: int, radius: int) -> float:
+        """Cost units of one job: nodes x (radius + 1), a ball-work proxy."""
+        return float(node_count) * (radius + 1)
+
+    # -- pool plumbing ----------------------------------------------------- #
+
+    def _fan_out(self, payload: PoolPayload, count: int) -> Optional[List]:
+        """Run ``count`` jobs' chunks on the persistent pool.
+
+        Returns per-chunk outputs in chunk order, or ``None`` when the
+        pool could not run the batch (callers fall back to in-process
+        execution).  Algorithm errors raised inside workers propagate.
         """
-        if not payload.chunks:
-            # An empty batch must never publish a payload or build a pool
-            # (``Pool(processes=0)`` raises); there is simply nothing to do.
+        chunks = _as_ranges(partition_chunks(count, self.workers, self.partition))
+        if not chunks:
             return []
-        global _PAYLOAD
-        ctx = multiprocessing.get_context("fork")
-        _PAYLOAD = payload
+        pool = get_pool()
+        before = pool.counters()
+        started = time.perf_counter()
         try:
-            try:
-                pool = ctx.Pool(processes=min(self.workers, len(payload.chunks)), initializer=_init_worker)
-            except OSError:
-                return None
-            try:
-                results = pool.map(_run_chunk, range(len(payload.chunks)))
-            finally:
-                pool.close()
-                pool.join()
-        finally:
-            _PAYLOAD = None
+            replies = pool.submit(payload, chunks, min(self.workers, len(chunks)))
+        except (WorkerCrashError, OSError):
+            return None
+        elapsed = time.perf_counter() - started
+        after = pool.counters()
+        for key, value in after.items():
+            delta = value - before.get(key, 0)
+            if delta:
+                self.stats.extra[key] = self.stats.extra.get(key, 0) + delta
         merged: List = []
-        for outputs, stats in results:
+        for outputs, worker_stats in replies:
             merged.append(outputs)
-            self._absorb_stats(stats)
-        self.stats.extra["parallel_batches"] = self.stats.extra.get("parallel_batches", 0) + 1
-        self.stats.extra["parallel_chunks"] = (
-            self.stats.extra.get("parallel_chunks", 0) + len(payload.chunks)
-        )
+            self._absorb_stats(worker_stats)
+        if self.adaptive and after["parallel_forks"] == before["parallel_forks"]:
+            # Only warm dispatches teach the pool rate; cold ones are
+            # dominated by the one-off fork cost the model prices separately.
+            self.cost_model.observe_pool(self._last_units, elapsed, min(self.workers, len(chunks)))
         return merged
 
     def _absorb_stats(self, worker_stats: Dict[str, int]) -> None:
@@ -280,7 +283,13 @@ class ParallelEngine(ExecutionEngine):
             if isinstance(value, int):
                 self.stats.extra[key] = self.stats.extra.get(key, 0) + value
 
-    # -- sharded drivers ------------------------------------------------- #
+    _last_units: float = 0.0
+
+    def _observe_serial(self, units: float, started: float) -> None:
+        if self.adaptive and units > 0:
+            self.cost_model.observe_serial(units, time.perf_counter() - started)
+
+    # -- sharded drivers --------------------------------------------------- #
 
     def run(
         self,
@@ -293,24 +302,29 @@ class ParallelEngine(ExecutionEngine):
         if not chosen:
             return {}
         use_ids = self._ids_for(algorithm, ids)
-        if len(chosen) < self.min_parallel_nodes or not self._can_fork():
+        units = self._units(len(chosen), algorithm.radius)
+        if self._use_pool(len(chosen), self.min_parallel_nodes, units):
+            self._last_units = units
+            payload = PoolPayload(
+                kind="run",
+                algorithm=algorithm,
+                graph=graph,
+                ids=use_ids,
+                nodes=chosen,
+                store_path=self._store_path,
+            )
+            shards = self._fan_out(payload, len(chosen))
+            if shards is not None:
+                outputs: Dict[Node, Hashable] = {}
+                for shard in shards:
+                    outputs.update(shard)
+                return {v: outputs[v] for v in chosen}
+        started = time.perf_counter()
+        with self._borrow_inner() as inner:
             # Preserve nodes=None so the inner engine's whole-run memo applies.
-            return self._inner.run(algorithm, graph, ids, nodes=None if nodes is None else chosen)
-        payload = _Payload(
-            kind="run",
-            algorithm=algorithm,
-            chunks=partition_chunks(len(chosen), self.workers),
-            graph=graph,
-            ids=use_ids,
-            nodes=chosen,
-        )
-        shards = self._fan_out(payload)
-        if shards is None:
-            return self._inner.run(algorithm, graph, ids, nodes=None if nodes is None else chosen)
-        outputs: Dict[Node, Hashable] = {}
-        for shard in shards:
-            outputs.update(shard)
-        return {v: outputs[v] for v in chosen}
+            result = inner.run(algorithm, graph, ids, nodes=None if nodes is None else chosen)
+        self._observe_serial(units, started)
+        return result
 
     def run_randomised(
         self,
@@ -325,24 +339,31 @@ class ParallelEngine(ExecutionEngine):
             return {}
         use_ids = self._ids_for(algorithm, ids)
         base = seed if seed is not None else random.randrange(2**63)
-        if len(chosen) < self.min_parallel_nodes or not self._can_fork():
-            return self._inner.run_randomised(algorithm, graph, use_ids, base, nodes=chosen)
-        payload = _Payload(
-            kind="run_randomised",
-            algorithm=algorithm,
-            chunks=partition_chunks(len(chosen), self.workers),
-            graph=graph,
-            ids=use_ids,
-            nodes=chosen,
-            base_seed=base,
-        )
-        shards = self._fan_out(payload)
-        if shards is None:
-            return self._inner.run_randomised(algorithm, graph, use_ids, base, nodes=None if nodes is None else chosen)
-        outputs: Dict[Node, Hashable] = {}
-        for shard in shards:
-            outputs.update(shard)
-        return {v: outputs[v] for v in chosen}
+        units = self._units(len(chosen), algorithm.radius)
+        if self._use_pool(len(chosen), self.min_parallel_nodes, units):
+            self._last_units = units
+            payload = PoolPayload(
+                kind="run_randomised",
+                algorithm=algorithm,
+                graph=graph,
+                ids=use_ids,
+                nodes=chosen,
+                base_seed=base,
+                store_path=self._store_path,
+            )
+            shards = self._fan_out(payload, len(chosen))
+            if shards is not None:
+                outputs: Dict[Node, Hashable] = {}
+                for shard in shards:
+                    outputs.update(shard)
+                return {v: outputs[v] for v in chosen}
+        started = time.perf_counter()
+        with self._borrow_inner() as inner:
+            # Preserve nodes=None so an explicit-seed whole run stays a
+            # memoisable unit for wrapping stores (mirrors run()).
+            result = inner.run_randomised(algorithm, graph, use_ids, base, nodes=None if nodes is None else chosen)
+        self._observe_serial(units, started)
+        return result
 
     def run_many(
         self,
@@ -352,18 +373,23 @@ class ParallelEngine(ExecutionEngine):
         jobs = list(jobs)
         if not jobs:
             return []
-        if len(jobs) < self.min_parallel_jobs or not self._can_fork():
-            return [self._inner.run(algorithm, graph, ids) for graph, ids in jobs]
-        payload = _Payload(
-            kind="run_many",
-            algorithm=algorithm,
-            chunks=partition_chunks(len(jobs), self.workers),
-            jobs=jobs,
-        )
-        shards = self._fan_out(payload)
-        if shards is None:
-            return [self._inner.run(algorithm, graph, ids) for graph, ids in jobs]
-        return [outputs for shard in shards for outputs in shard]
+        units = sum(self._units(graph.num_nodes(), algorithm.radius) for graph, _ in jobs)
+        if self._use_pool(len(jobs), self.min_parallel_jobs, units):
+            self._last_units = units
+            payload = PoolPayload(
+                kind="run_many",
+                algorithm=algorithm,
+                jobs=jobs,
+                store_path=self._store_path,
+            )
+            shards = self._fan_out(payload, len(jobs))
+            if shards is not None:
+                return self._reassemble(len(jobs), shards)
+        started = time.perf_counter()
+        with self._borrow_inner() as inner:
+            result = [inner.run(algorithm, graph, ids) for graph, ids in jobs]
+        self._observe_serial(units, started)
+        return result
 
     def run_randomised_many(
         self,
@@ -373,22 +399,51 @@ class ParallelEngine(ExecutionEngine):
         jobs = list(jobs)
         if not jobs:
             return []
-        if len(jobs) < self.min_parallel_jobs or not self._can_fork():
-            return [
-                self._inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs
-            ]
-        payload = _Payload(
-            kind="run_randomised_many",
-            algorithm=algorithm,
-            chunks=partition_chunks(len(jobs), self.workers),
-            jobs=jobs,
-        )
-        shards = self._fan_out(payload)
-        if shards is None:
-            return [
-                self._inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs
-            ]
-        return [outputs for shard in shards for outputs in shard]
+        units = sum(self._units(graph.num_nodes(), algorithm.radius) for graph, _, _ in jobs)
+        if self._use_pool(len(jobs), self.min_parallel_jobs, units):
+            self._last_units = units
+            payload = PoolPayload(
+                kind="run_randomised_many",
+                algorithm=algorithm,
+                jobs=jobs,
+                store_path=self._store_path,
+            )
+            shards = self._fan_out(payload, len(jobs))
+            if shards is not None:
+                return self._reassemble(len(jobs), shards)
+        started = time.perf_counter()
+        with self._borrow_inner() as inner:
+            result = [inner.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs]
+        self._observe_serial(units, started)
+        return result
+
+    def _reassemble(self, count: int, shards: List) -> List:
+        """Zip per-chunk output lists back into job order (any partition)."""
+        chunks = _as_ranges(partition_chunks(count, self.workers, self.partition))
+        results: List = [None] * count
+        for chunk, outputs in zip(chunks, shards):
+            for index, out in zip(chunk, outputs):
+                results[index] = out
+        return results
+
+    # -- single-view primitives (always in-process) ------------------------- #
+
+    def views(
+        self,
+        graph: LabelledGraph,
+        radius: int,
+        ids: Optional[IdAssignment] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Neighbourhood]:
+        with self._borrow_inner() as inner:
+            return inner.views(graph, radius, ids, nodes)
+
+    def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
+        with self._borrow_inner() as inner:
+            return inner.evaluate_view(algorithm, view)
 
     def __repr__(self) -> str:
-        return f"ParallelEngine(workers={self.workers})"
+        return (
+            f"ParallelEngine(workers={self.workers}, adaptive={self.adaptive}, "
+            f"partition={self.partition!r})"
+        )

@@ -74,6 +74,7 @@ __all__ = [
     "PersistentEngine",
     "VerdictStore",
     "algorithm_fingerprint",
+    "exact_algorithm_fingerprint",
     "job_digest",
     "StoreCorruptionWarning",
 ]
@@ -172,6 +173,122 @@ def algorithm_fingerprint(algorithm: Any) -> str:
             elif callable(value):
                 parts.append(f"{key}~{_code_token(value)}")
     return _sha256(*parts)
+
+
+def _exact_repr(value: Any, depth: int = 0) -> Optional[str]:
+    """A repr that provably captures the value, or ``None``.
+
+    Primitives repr faithfully; tuples/frozensets recurse (a tuple holding
+    an arbitrary object must refuse, not trust that object's repr).
+    """
+    if depth > 8:
+        return None
+    if isinstance(value, _PRIMITIVES):
+        return repr(value)
+    if isinstance(value, (tuple, frozenset)):
+        inner = [_exact_repr(x, depth + 1) for x in value]
+        if any(x is None for x in inner):
+            return None
+        if isinstance(value, frozenset):
+            inner = sorted(inner)
+        return f"{type(value).__name__}({', '.join(inner)})"
+    return None
+
+
+def _strict_code_token(fn: Any, depth: int = 0) -> Optional[str]:
+    """Like :func:`_code_token`, but ``None`` unless provably exact.
+
+    The lenient token approximates non-primitive closure cells by their
+    type name and silently skips non-primitive attributes — fine for
+    best-effort store invalidation, unsound as a *memoisation* key (two
+    behaviourally different algorithms could share it).  This variant
+    refuses instead: any closure cell that is neither primitive nor itself
+    exactly tokenisable makes the whole token ``None``.
+    """
+    if depth > 8:
+        return None
+    fn = getattr(fn, "__func__", fn)
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return None
+    cells: List[str] = []
+    closure = getattr(fn, "__closure__", None)
+    if closure:
+        for cell in closure:
+            value = cell.cell_contents
+            exact = _exact_repr(value)
+            if exact is not None:
+                cells.append(exact)
+            elif callable(value):
+                token = _strict_code_token(value, depth + 1)
+                if token is None:
+                    return None
+                cells.append(token)
+            else:
+                return None
+    # co_names pins the globals the bytecode reads; the referenced global
+    # *values* are not captured, so module-level mutable state would evade
+    # the token.  Pin the defining module instead: same module + same
+    # bytecode + exact closure is as strong as identity keying within one
+    # process for code that follows the local-algorithm purity contract.
+    module = getattr(fn, "__module__", None) or "?"
+    return _sha256("strict", module, _raw_code_token(code), repr(tuple(cells)))
+
+
+def exact_algorithm_fingerprint(algorithm: Any) -> Optional[str]:
+    """A content fingerprint safe to use as a memoisation key, or ``None``.
+
+    Returns a token only when every behaviour-carrying part of the
+    algorithm is captured exactly: its class, declared radius and
+    obliviousness, the strict code token of ``evaluate`` (and of a wrapped
+    ``_fn``), and every instance attribute — which must be primitive,
+    tuple/frozenset of primitives, or exactly-tokenisable callables.  One
+    approximated part returns ``None`` and callers fall back to identity
+    keys.  ``store_fingerprint()`` overrides are trusted as exact (that is
+    their documented contract).
+    """
+    custom = getattr(algorithm, "store_fingerprint", None)
+    if callable(custom):
+        return _sha256("custom", repr(custom()))
+    parts: List[str] = [
+        type(algorithm).__module__,
+        type(algorithm).__qualname__,
+        repr(getattr(algorithm, "radius", None)),
+        repr(getattr(algorithm, "uses_identifiers", None)),
+    ]
+    token = _strict_code_token(algorithm.evaluate)
+    if token is None:
+        return None
+    parts.append(token)
+    wrapped = getattr(algorithm, "_fn", None)
+    if callable(wrapped):
+        token = _strict_code_token(wrapped)
+        if token is None:
+            return None
+        parts.append(token)
+    if getattr(algorithm, "__slots__", None):
+        # Slotted state is invisible to the __dict__ walk below; refuse
+        # rather than fingerprint blind.
+        return None
+    attrs = getattr(algorithm, "__dict__", None)
+    if attrs:
+        for key in sorted(attrs):
+            value = attrs[key]
+            if key == "name" or key.startswith("__"):
+                continue
+            if key == "_fn" and callable(value):
+                continue  # already covered above
+            exact = _exact_repr(value)
+            if exact is not None:
+                parts.append(f"{key}={exact}")
+            elif callable(value):
+                token = _strict_code_token(value)
+                if token is None:
+                    return None
+                parts.append(f"{key}~{token}")
+            else:
+                return None
+    return _sha256("exact", *parts)
 
 
 def _graph_token(graph: LabelledGraph) -> str:
@@ -299,6 +416,14 @@ class VerdictStore:
         again in this run; stores larger than the front therefore degrade
         to partial replay rather than growing their segments.
 
+    read_only:
+        Never touch disk on :meth:`put`: entries are cached in the memory
+        front only.  This is how pool workers mount the parent's store —
+        many workers appending their own segments would fragment the store
+        into per-fork files that the parent re-loads forever; instead
+        workers replay what is settled and the parent persists what its
+        batch computed.
+
     Each segment line is ``{"k": <digest>, "v": <encoded outputs>}``.
     Truncated or otherwise undecodable lines (a run killed mid-append) are
     skipped with a :class:`StoreCorruptionWarning` instead of crashing,
@@ -306,8 +431,14 @@ class VerdictStore:
     verdict, not the store.
     """
 
-    def __init__(self, path: Union[str, Path], max_memory_entries: int = 100_000) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        max_memory_entries: int = 100_000,
+        read_only: bool = False,
+    ) -> None:
         self.path = Path(path)
+        self.read_only = read_only
         self.path.mkdir(parents=True, exist_ok=True)
         self._front = LRUStore(max_memory_entries)
         # Every digest present in a segment, independent of the bounded
@@ -373,7 +504,7 @@ class VerdictStore:
 
     def put(self, digest: str, payload: Any) -> None:
         """Persist ``payload`` under ``digest``: append to disk, cache in memory."""
-        if digest in self._on_disk:
+        if self.read_only or digest in self._on_disk:
             self._front.put(digest, payload)
             return
         line = json.dumps({"k": digest, "v": payload}, sort_keys=True)
@@ -471,6 +602,12 @@ class PersistentEngine(ExecutionEngine):
         self.stats = self.inner.stats
         self._fingerprints = LRUStore(256)
         self._graph_tokens = LRUStore(1024)
+        # A sharding inner engine (ParallelEngine) can mount the store
+        # read-only inside its workers, so misses this wrapper delegates
+        # still replay whatever *other* jobs of the batch are settled.
+        attach = getattr(self.inner, "attach_store", None)
+        if callable(attach):
+            attach(str(self.store.path))
 
     def reset_stats(self) -> None:
         self.inner.reset_stats()

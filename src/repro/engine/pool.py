@@ -1,0 +1,679 @@
+"""Persistent worker pool: long-lived fork workers with warm caches.
+
+The first ``ParallelEngine`` forked a fresh ``multiprocessing.Pool`` for
+*every* batch.  On the verification workloads — hundreds of tiny matrix
+cells, each a handful of jobs — the fork, payload publication and pool
+teardown dominated by an order of magnitude (the committed
+``BENCH_workloads.json`` recorded the 2-worker sweep at 0.121x serial).
+This module replaces that with the process-wide machinery the ROADMAP's
+"fix the parallel regression" item calls for:
+
+* :class:`WorkerPool` — a lazily created, process-wide pool of long-lived
+  worker processes.  Each worker owns one duplex pipe and one warm
+  execution engine (a fork-time copy of :func:`shared_local_engine`, so a
+  worker starts with every ball/memo entry the parent had already
+  computed).  Workers survive across batches, sweeps, campaign scenarios
+  and engine instances; the fork tax is paid once per process, not once
+  per batch.
+* **Generation-tagged payload shipping** — a batch's payload (algorithm +
+  jobs) is pickled once and shipped to a worker only when that worker does
+  not already hold the current generation; repeated sweeps over the same
+  job list re-use the previous generation and ship nothing but chunk
+  indices.  Payloads that cannot be pickled (lambda- and closure-based
+  algorithms) fall back to re-forking the needed workers with the payload
+  published in a module global first, so fork inheritance keeps them
+  working exactly as before — at the old per-batch fork cost, which the
+  ``parallel_forks`` counter makes visible.
+* **Re-fork-on-death recovery** — a worker that dies mid-batch (killed,
+  OOM, crashed) is detected through its broken pipe, replaced by a fresh
+  fork, re-shipped the payload and re-sent its chunks; the batch completes
+  without loss.
+* :class:`CostModel` — EWMA estimates of the in-process and pool cost per
+  work unit (``nodes x (radius + 1)``, a ball-size proxy), used by
+  :class:`~repro.engine.parallel.ParallelEngine` to route each batch to
+  whichever backend is modelled cheaper, so tiny batches never pay the
+  dispatch tax and large sweeps shard fully.
+* :func:`shared_local_engine` — the process-wide warm
+  :class:`~repro.engine.cached.CachedEngine` (content-keyed, see
+  ``CachedEngine(content_keyed=True)``) used for in-process execution by
+  every ``ParallelEngine``.  Because it is shared, ball collections and
+  memoised verdicts survive across the per-scenario engines a campaign
+  creates, which is where the measured quick-matrix speedup comes from.
+
+Lifecycle: the pool is created lazily on first use, shut down explicitly
+with :func:`shutdown_pool` (idempotent; also registered via ``atexit``)
+and re-created lazily afterwards.  Workers are daemonic, so a crashed
+parent never leaks processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cached import CachedEngine
+
+__all__ = [
+    "CostModel",
+    "PoolPayload",
+    "WorkerPool",
+    "WorkerCrashError",
+    "get_pool",
+    "shutdown_pool",
+    "shared_local_engine",
+    "reset_shared_local_engine",
+]
+
+
+# ---------------------------------------------------------------------- #
+# The shared in-process engine
+# ---------------------------------------------------------------------- #
+
+_LOCAL_ENGINE: Optional[CachedEngine] = None
+
+
+def shared_local_engine() -> CachedEngine:
+    """The process-wide warm caching engine used for in-process execution.
+
+    Shared by every :class:`~repro.engine.parallel.ParallelEngine` (and,
+    via fork inheritance, the starting state of every pool worker), so the
+    ball cache and the content-keyed memo survive across the short-lived
+    per-scenario engines a campaign run creates.  Callers temporarily
+    rebind ``stats`` so the work is attributed to the borrowing engine.
+    """
+    global _LOCAL_ENGINE
+    if _LOCAL_ENGINE is None:
+        _LOCAL_ENGINE = CachedEngine(content_keyed=True)
+    return _LOCAL_ENGINE
+
+
+def reset_shared_local_engine() -> None:
+    """Drop the shared engine (tests; the next use builds a cold one)."""
+    global _LOCAL_ENGINE
+    _LOCAL_ENGINE = None
+
+
+# ---------------------------------------------------------------------- #
+# Payloads and chunks
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PoolPayload:
+    """One batch's work description, shipped to workers at most once.
+
+    ``kind`` selects the driver (``run`` / ``run_randomised`` over one
+    graph's node list, ``run_many`` / ``run_randomised_many`` over a job
+    list); chunks are ``range`` objects of *global* indices into
+    ``nodes`` / ``jobs``, so striped and contiguous partitions execute
+    identically (randomised per-node seeds derive from the global index).
+    ``store_path`` (when set) lets workers replay settled jobs from a
+    read-only :class:`~repro.engine.persistent.VerdictStore` front.
+    """
+
+    kind: str  # "run" | "run_randomised" | "run_many" | "run_randomised_many"
+    algorithm: Any
+    graph: Any = None
+    ids: Any = None
+    nodes: Optional[List[Any]] = None
+    base_seed: Optional[int] = None
+    jobs: Optional[Sequence[Tuple]] = None
+    store_path: Optional[str] = None
+
+
+def _same_payload(a: PoolPayload, b: PoolPayload) -> bool:
+    """Whether two payloads describe identical work (by object identity).
+
+    Used for generation re-use: a repeated sweep that passes the same
+    algorithm and the same job objects must not re-ship the payload.
+    Identity is sound because graphs and assignments are immutable.
+    """
+    if a.kind != b.kind or a.algorithm is not b.algorithm or a.store_path != b.store_path:
+        return False
+    if a.graph is not b.graph or a.ids is not b.ids or a.base_seed != b.base_seed:
+        return False
+    if (a.nodes is None) != (b.nodes is None) or (a.jobs is None) != (b.jobs is None):
+        return False
+    if a.nodes is not None:
+        if a.nodes is not b.nodes and (
+            len(a.nodes) != len(b.nodes) or any(x is not y for x, y in zip(a.nodes, b.nodes))
+        ):
+            return False
+    if a.jobs is not None:
+        if a.jobs is not b.jobs:
+            if len(a.jobs) != len(b.jobs):
+                return False
+            for x, y in zip(a.jobs, b.jobs):
+                if x is not y and any(p is not q for p, q in zip(x, y)):
+                    return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side machinery
+# ---------------------------------------------------------------------- #
+#
+# Set in the parent immediately before forking a worker whose payload
+# could not be pickled; the child adopts it into its payload cache through
+# copy-on-write memory, exactly like the old fork-per-batch design.
+
+_INHERITED: Optional[Tuple[int, PoolPayload]] = None
+
+
+def _store_front(stores: Dict[str, Any], path: str, engine: CachedEngine):
+    """A worker's read-only verdict-store wrapper for ``path`` (cached)."""
+    front = stores.get(path)
+    if front is None:
+        from .persistent import PersistentEngine, VerdictStore
+
+        front = PersistentEngine(VerdictStore(path, read_only=True), inner=engine)
+        stores[path] = front
+    return front
+
+
+def _execute_chunk(engine, payload: PoolPayload, chunk: range):
+    """Execute one chunk of global indices; return ``(outputs, stats)``.
+
+    Mirrors the serial drivers exactly: deterministic runs evaluate the
+    chunk's nodes/jobs through the (caching) engine, randomised runs seed
+    node ``i`` of the *full* node list from ``(base_seed, i)`` no matter
+    which worker or partition mode evaluates it.
+    """
+    import random
+
+    from .base import derive_node_seed
+
+    engine.reset_stats()
+    algorithm = payload.algorithm
+    if payload.kind == "run":
+        nodes = [payload.nodes[i] for i in chunk]
+        outputs = engine.run(algorithm, payload.graph, payload.ids, nodes=nodes)
+    elif payload.kind == "run_randomised":
+        nodes = [payload.nodes[i] for i in chunk]
+        view_map = engine.views(payload.graph, algorithm.radius, payload.ids, nodes)
+        outputs = {}
+        for index, v in zip(chunk, nodes):
+            rng = random.Random(derive_node_seed(payload.base_seed, index))
+            engine.stats.nodes_run += 1
+            engine.stats.evaluations += 1
+            outputs[v] = algorithm.evaluate(view_map[v], rng)
+    elif payload.kind == "run_many":
+        outputs = []
+        for i in chunk:
+            graph, ids = payload.jobs[i]
+            outputs.append(engine.run(algorithm, graph, ids))
+    elif payload.kind == "run_randomised_many":
+        outputs = []
+        for i in chunk:
+            graph, ids, seed = payload.jobs[i]
+            outputs.append(engine.run_randomised(algorithm, graph, ids, seed))
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown payload kind {payload.kind!r}")
+    return outputs, engine.stats.as_dict()
+
+
+def _worker_main(conn) -> None:
+    """Long-lived worker loop: cache payloads by generation, run chunks."""
+    engine = shared_local_engine()  # fork-time warm copy of the parent's engine
+    payloads: Dict[int, PoolPayload] = {}
+    if _INHERITED is not None:
+        payloads[_INHERITED[0]] = _INHERITED[1]
+    stores: Dict[str, Any] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        tag = message[0]
+        if tag == "stop":
+            break
+        if tag == "payload":
+            _, generation, blob = message
+            try:
+                # Keep only the newest generation: batches are strictly ordered.
+                payloads = {generation: pickle.loads(blob)}
+            except BaseException:
+                # Pickled-by-reference objects can fail to resolve in a
+                # worker forked before they were defined.  Tell the parent
+                # so it re-ships this payload by fork inheritance instead.
+                payloads = {}
+                conn.send(("payload-error", generation))
+            continue
+        if tag != "run":  # pragma: no cover - defensive
+            continue
+        _, generation, chunks = message
+        payload = payloads.get(generation)
+        if payload is None:
+            conn.send(("missing-payload", generation))
+            continue
+        eng = engine
+        if payload.store_path is not None:
+            eng = _store_front(stores, payload.store_path, engine)
+        try:
+            results = [_execute_chunk(eng, payload, chunk) for chunk in chunks]
+        except BaseException as exc:  # ship the failure, stay alive
+            try:
+                conn.send(("error", exc))
+            except (pickle.PicklingError, TypeError, AttributeError):
+                conn.send(("error", RuntimeError(f"worker raised unpicklable {exc!r}")))
+            continue
+        conn.send(("ok", results))
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# Parent-side pool
+# ---------------------------------------------------------------------- #
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died repeatedly while executing one batch."""
+
+
+class _Handle:
+    """Parent-side view of one worker: process, pipe, payload generation."""
+
+    __slots__ = ("process", "conn", "generation")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.generation: Optional[int] = None
+
+
+@dataclass
+class _LastPayload:
+    payload: PoolPayload
+    generation: int
+    blob: Optional[bytes]
+
+
+class WorkerPool:
+    """Process-wide pool of persistent fork workers.
+
+    One instance exists per process (see :func:`get_pool`); it grows
+    lazily to the largest worker count requested and shrinks only on
+    :meth:`shutdown`.  All counters are lifetime totals — callers snapshot
+    and diff them to attribute per-batch deltas to engine statistics.
+    """
+
+    def __init__(self) -> None:
+        self._handles: List[_Handle] = []
+        self._generation = 0
+        self._last: Optional[_LastPayload] = None
+        # Lifetime counters (see ParallelEngine stats extras).
+        self.forks = 0
+        self.payload_ships = 0
+        self.payload_ship_bytes = 0
+        self.batches = 0
+        self.chunks_run = 0
+        self.coalesced_batches = 0
+        self.deaths_recovered = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def alive_workers(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for h in self._handles if h.process.is_alive())
+
+    def is_warm(self, workers: int) -> bool:
+        """Whether ``workers`` live workers already exist (no fork needed)."""
+        return self.alive_workers() >= workers
+
+    def _spawn(self) -> _Handle:
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        process.start()
+        # Close the parent's copy of the child end immediately: EOF
+        # detection (re-fork-on-death) needs the child end closed
+        # everywhere but in the worker itself, and later forks must not
+        # inherit it.
+        child_conn.close()
+        self.forks += 1
+        handle = _Handle(process, parent_conn)
+        if _INHERITED is not None:
+            # The child adopted the published payload at fork time.
+            handle.generation = _INHERITED[0]
+        return handle
+
+    def _ensure(self, workers: int) -> None:
+        for index in range(workers):
+            if index < len(self._handles) and self._handles[index].process.is_alive():
+                continue
+            handle = self._spawn()
+            if index < len(self._handles):
+                self._discard(self._handles[index])
+                self._handles[index] = handle
+                self.deaths_recovered += 1
+            else:
+                self._handles.append(handle)
+
+    @staticmethod
+    def _discard(handle: _Handle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=2.0)
+
+    def shutdown(self) -> None:
+        """Stop every worker and drop the payload cache.  Idempotent.
+
+        The pool object stays usable: the next submit re-forks lazily.
+        """
+        for handle in self._handles:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._handles:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - defensive
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+        self._handles = []
+        self._last = None
+
+    # -- payload generations ---------------------------------------------- #
+
+    def _generation_for(self, payload: PoolPayload) -> Tuple[int, Optional[bytes]]:
+        """Resolve the payload's generation, re-using the previous one when
+        the work is identical; ``blob`` is ``None`` for unpicklable payloads
+        (which ship by fork inheritance instead)."""
+        if self._last is not None and _same_payload(self._last.payload, payload):
+            return self._last.generation, self._last.blob
+        self._generation += 1
+        try:
+            blob: Optional[bytes] = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            blob = None
+        self._last = _LastPayload(payload, self._generation, blob)
+        return self._generation, blob
+
+    def _respawn_inherited(self, index: int, generation: int, payload: PoolPayload) -> None:
+        """Replace worker ``index`` with a fork that inherits the payload."""
+        global _INHERITED
+        if index < len(self._handles):
+            self._discard(self._handles[index])
+        _INHERITED = (generation, payload)
+        try:
+            handle = self._spawn()
+        finally:
+            _INHERITED = None
+        handle.generation = generation
+        if index < len(self._handles):
+            self._handles[index] = handle
+        else:  # pragma: no cover - _ensure ran first in every caller
+            self._handles.append(handle)
+
+    # -- batch submission -------------------------------------------------- #
+
+    def submit(self, payload: PoolPayload, chunks: Sequence[range], workers: int) -> List[Tuple]:
+        """Run the chunks across ``workers`` live workers; per-chunk results.
+
+        Chunk ``i`` is deterministically assigned to worker ``i % workers``
+        and a worker's chunks travel as one task message (the coalescing
+        seam).  Results return in chunk order.  A worker found dead is
+        replaced and its share re-sent; the batch never loses work.
+        """
+        if not chunks:
+            return []
+        workers = max(1, min(workers, len(chunks)))
+        generation, blob = self._generation_for(payload)
+        if blob is None:
+            # Unpicklable payload: publish it for fork inheritance so any
+            # worker spawned while filling the pool adopts it for free
+            # (already-live workers are respawned lazily by _dispatch).
+            global _INHERITED
+            _INHERITED = (generation, payload)
+            try:
+                self._ensure(workers)
+            finally:
+                _INHERITED = None
+        else:
+            self._ensure(workers)
+        assignments: List[List[Tuple[int, range]]] = [
+            [(index, chunk) for index, chunk in enumerate(chunks)][w::workers] for w in range(workers)
+        ]
+        pending: List[int] = []
+        for w in range(workers):
+            if not assignments[w]:
+                continue
+            self._dispatch(w, generation, blob, payload, assignments[w])
+            pending.append(w)
+        results: List[Optional[Tuple]] = [None] * len(chunks)
+        failure: Optional[BaseException] = None
+        for w in pending:
+            # Drain every dispatched worker even after a failure: an
+            # uncollected reply would desynchronise the next batch.
+            try:
+                replies = self._collect(w, generation, blob, payload, assignments[w])
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            for (chunk_index, _), reply in zip(assignments[w], replies):
+                results[chunk_index] = reply
+        if failure is not None:
+            raise failure
+        self.batches += 1
+        self.chunks_run += len(chunks)
+        if payload.kind in ("run_many", "run_randomised_many") and payload.jobs is not None:
+            if len(payload.jobs) > len(chunks):
+                self.coalesced_batches += 1
+        return results  # type: ignore[return-value]
+
+    def _dispatch(
+        self,
+        index: int,
+        generation: int,
+        blob: Optional[bytes],
+        payload: PoolPayload,
+        tasks: List[Tuple[int, range]],
+        retried: bool = False,
+    ) -> None:
+        handle = self._handles[index]
+        chunk_ranges = [chunk for _, chunk in tasks]
+        try:
+            if handle.generation != generation:
+                if blob is None:
+                    # Unpicklable payload: ship it by re-forking this
+                    # worker with the payload published for inheritance.
+                    self._respawn_inherited(index, generation, payload)
+                    handle = self._handles[index]
+                else:
+                    handle.conn.send(("payload", generation, blob))
+                    handle.generation = generation
+                    self.payload_ships += 1
+                    self.payload_ship_bytes += len(blob)
+            handle.conn.send(("run", generation, chunk_ranges))
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            if retried:
+                raise WorkerCrashError(f"worker {index} died twice while receiving a batch")
+            self._replace_dead(index)
+            self._dispatch(index, generation, blob, payload, tasks, retried=True)
+
+    def _collect(
+        self,
+        index: int,
+        generation: int,
+        blob: Optional[bytes],
+        payload: PoolPayload,
+        tasks: List[Tuple[int, range]],
+        retried: bool = False,
+    ) -> List[Tuple]:
+        handle = self._handles[index]
+        try:
+            reply = handle.conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            # The worker died mid-batch: replace it, re-ship, re-run its
+            # share once.  A second death is a real crash worth raising.
+            if retried:
+                raise WorkerCrashError(f"worker {index} died twice while executing a batch")
+            self._replace_dead(index)
+            self._dispatch(index, generation, blob, payload, tasks)
+            return self._collect(index, generation, blob, payload, tasks, retried=True)
+        tag = reply[0]
+        if tag == "ok":
+            return reply[1]
+        if tag == "error":
+            raise reply[1]
+        if tag == "payload-error":
+            # The worker could not unpickle the payload (forked before a
+            # referenced object existed).  Re-ship by fork inheritance:
+            # killing the worker also discards its queued run message.
+            if retried:
+                raise WorkerCrashError(f"worker {index} rejected the payload twice")
+            self._respawn_inherited(index, generation, payload)
+            self._dispatch(index, generation, None, payload, tasks)
+            return self._collect(index, generation, blob, payload, tasks, retried=True)
+        if tag == "missing-payload":  # pragma: no cover - defensive resync
+            if retried:
+                raise WorkerCrashError(f"worker {index} lost the payload twice")
+            handle.generation = None
+            self._dispatch(index, generation, blob, payload, tasks)
+            return self._collect(index, generation, blob, payload, tasks, retried=True)
+        raise WorkerCrashError(f"worker {index} sent unknown reply {tag!r}")  # pragma: no cover
+
+    def _replace_dead(self, index: int) -> None:
+        self._discard(self._handles[index])
+        handle = self._spawn()
+        self._handles[index] = handle
+        self.deaths_recovered += 1
+
+    # -- observability ----------------------------------------------------- #
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the lifetime counters (diff two snapshots per batch)."""
+        return {
+            "parallel_forks": self.forks,
+            "payload_ships": self.payload_ships,
+            "payload_ship_bytes": self.payload_ship_bytes,
+            "parallel_batches": self.batches,
+            "parallel_chunks": self.chunks_run,
+            "coalesced_batches": self.coalesced_batches,
+            "worker_deaths_recovered": self.deaths_recovered,
+        }
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(alive={self.alive_workers()}, forks={self.forks})"
+
+
+# ---------------------------------------------------------------------- #
+# Process-wide singleton
+# ---------------------------------------------------------------------- #
+
+_POOL: Optional[WorkerPool] = None
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide persistent worker pool (created lazily)."""
+    global _POOL
+    if _POOL is None:
+        _POOL = WorkerPool()
+        atexit.register(shutdown_pool)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut the process-wide pool down (idempotent; re-forks lazily on use)."""
+    if _POOL is not None:
+        _POOL.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# The cost model
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class CostModel:
+    """EWMA cost model routing batches between in-process and pool execution.
+
+    Work is measured in *cost units* — ``nodes x (radius + 1)`` summed over
+    a batch's jobs, a proxy for the ball work a job needs.  Two rates are
+    learned from observed wall-times (exponentially weighted, ``alpha``):
+    ``serial_rate`` (seconds per unit in-process) and ``pool_rate``
+    (seconds per unit through a *warm* pool, IPC included).  A batch goes
+    to the pool when the modelled pool time — including the per-batch
+    dispatch overhead and, for a cold pool, the fork cost — undercuts the
+    modelled in-process time.  The priors deliberately overestimate the
+    pool so the first batches of a process run in-process (warming the
+    shared engine) until a genuinely large batch justifies forking.
+    """
+
+    alpha: float = 0.3
+    serial_rate: float = 3e-6
+    pool_rate: float = 3e-6
+    dispatch_overhead: float = 2e-3
+    fork_cost: float = 3e-2
+
+    def estimate_serial(self, units: float) -> float:
+        """Modelled in-process seconds for a batch of ``units``."""
+        return units * self.serial_rate
+
+    def estimate_pool(self, units: float, workers: int, warm: bool) -> float:
+        """Modelled pool seconds for ``units`` sharded over ``workers``."""
+        workers = max(1, workers)
+        seconds = units * self.pool_rate / workers + self.dispatch_overhead * workers
+        if not warm:
+            seconds += self.fork_cost * workers
+        return seconds
+
+    def prefer_pool(self, units: float, workers: int, warm: bool) -> bool:
+        """Whether the modelled pool win beats the modelled overhead."""
+        if workers <= 1:
+            return False
+        return self.estimate_pool(units, workers, warm) < self.estimate_serial(units)
+
+    def observe_serial(self, units: float, seconds: float) -> None:
+        """Fold one observed in-process batch into ``serial_rate``."""
+        if units <= 0:
+            return
+        self.serial_rate += self.alpha * (seconds / units - self.serial_rate)
+
+    def observe_pool(self, units: float, seconds: float, workers: int) -> None:
+        """Fold one observed (warm-dispatch) pool batch into ``pool_rate``."""
+        if units <= 0:
+            return
+        rate = max(seconds - self.dispatch_overhead * max(1, workers), 0.0) * max(1, workers) / units
+        self.pool_rate += self.alpha * (rate - self.pool_rate)
+
+
+_COST_MODEL: Optional[CostModel] = None
+
+
+def shared_cost_model() -> CostModel:
+    """The process-wide cost model (shared so per-scenario engines learn once)."""
+    global _COST_MODEL
+    if _COST_MODEL is None:
+        _COST_MODEL = CostModel()
+    return _COST_MODEL
+
+
+def _fork_available() -> bool:
+    """Whether this process may fork pool workers at all."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # Pool workers are daemonic and may not fork pools of their own.
+    if multiprocessing.current_process().daemon:
+        return False
+    return True
+
+
+# Re-exported for ParallelEngine (kept here so the fork policy lives with
+# the pool it guards).
+fork_available = _fork_available

@@ -293,6 +293,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             store=args.store,
         )
     print(report.summary_table())
+    parallel_totals = report.parallel_stats()
+    if parallel_totals.get("parallel_batches"):
+        print(
+            "parallel: {parallel_batches} batch(es), {parallel_chunks} chunk(s), "
+            "{parallel_forks} fork(s), {payload_ships} payload ship(s) "
+            "({payload_ship_bytes} bytes), {coalesced_batches} coalesced".format(**parallel_totals)
+        )
     if not args.no_report:
         default = Path(args.resume) if args.resume is not None else DEFAULT_MATRIX_REPORT
         path = write_report(report, args.output if args.output is not None else default)

@@ -42,8 +42,10 @@ from repro.separation.bounded_ids import (
     small_bound,
 )
 
-# Tiny thresholds so the fork-pool paths run even on the small test inputs.
-SHARD = dict(min_parallel_jobs=2, min_parallel_nodes=8)
+# Tiny thresholds so the pool paths run even on the small test inputs;
+# adaptive=False disables the cost model so routing to the pool is
+# deterministic (the model would keep work this small in-process).
+SHARD = dict(min_parallel_jobs=2, min_parallel_nodes=8, adaptive=False)
 
 
 def _parallel(workers):
@@ -69,6 +71,32 @@ def test_partition_chunks_covers_range_contiguously(count, shards):
 def test_partition_chunks_balanced():
     sizes = [stop - start for start, stop in partition_chunks(10, 4)]
     assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("count,shards", [(0, 4), (1, 4), (5, 2), (8, 3), (12, 12), (7, 100)])
+def test_partition_chunks_striped_covers_range(count, shards):
+    chunks = partition_chunks(count, shards, mode="striped")
+    assert len(chunks) <= max(1, shards)
+    flattened = sorted(i for chunk in chunks for i in chunk)
+    assert flattened == list(range(count))
+    assert all(len(chunk) > 0 for chunk in chunks)
+    sizes = [len(chunk) for chunk in chunks]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+    assert chunks == partition_chunks(count, shards, mode="striped")
+
+
+def test_partition_chunks_striped_interleaves():
+    # Jobs sorted big-first must spread across workers, not pile on worker 0.
+    chunks = partition_chunks(6, 2, mode="striped")
+    assert [list(c) for c in chunks] == [[0, 2, 4], [1, 3, 5]]
+
+
+def test_partition_chunks_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="striped"):
+        partition_chunks(4, 2, mode="zigzag")
+    with pytest.raises(ValueError):
+        ParallelEngine(workers=2, partition="zigzag")
 
 
 # ---------------------------------------------------------------------- #
@@ -206,33 +234,57 @@ def test_stats_are_exact_even_when_a_worker_takes_several_chunks():
 
 
 def test_empty_sweeps_short_circuit_without_forking():
-    # partition_chunks(0, k) is [] — an empty batch must not publish a
-    # payload or build a pool (Pool(processes=0) raises), even when the
-    # parallelism thresholds would otherwise send it to the pool path.
-    import repro.engine.parallel as parallel_mod
+    # partition_chunks(0, k) is [] — an empty batch must never touch the
+    # pool (no forks, no payload ships), even when the parallelism
+    # thresholds would otherwise send it to the pool path.
+    from repro.engine import get_pool
 
-    engine = ParallelEngine(workers=3, min_parallel_jobs=0, min_parallel_nodes=0)
+    forks_before = get_pool().forks
+    engine = ParallelEngine(workers=3, min_parallel_jobs=0, min_parallel_nodes=0, adaptive=False)
     assert engine.run_many(_cycle_decider(), []) == []
     assert engine.run_randomised_many(_coin_decider(), []) == []
     empty = InstanceFamily(name="empty", yes_instances=[], no_instances=[])
     report = verify_decider(_cycle_decider(), _cycle_property(), family=empty, engine=engine)
     assert report.correct and report.instances_checked == 0
     assert "parallel_batches" not in engine.stats.extra
-    assert parallel_mod._PAYLOAD is None
+    assert get_pool().forks == forks_before
 
 
-def test_payload_is_reset_after_each_batch():
-    # The module-global payload must never leak between batches: a stale
-    # payload would let a later (mis-sequenced) worker evaluate yesterday's
-    # jobs.  _fan_out resets it in a finally.
-    import repro.engine.parallel as parallel_mod
+def test_inherited_payload_is_cleared_after_each_batch():
+    # The fork-inheritance global (used for unpicklable payloads) must
+    # never leak between batches: a stale payload would let a later fork
+    # adopt yesterday's jobs.  The pool clears it in a finally.
+    import repro.engine.pool as pool_mod
 
     engine = _parallel(2)
     graphs = [cycle_graph(12, label="x") for _ in range(4)]
     outputs = engine.run_many(_cycle_decider(), [(g, None) for g in graphs])
     assert len(outputs) == 4
     assert engine.stats.extra.get("parallel_batches", 0) >= 1
-    assert parallel_mod._PAYLOAD is None
+    assert pool_mod._INHERITED is None
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("mode", ["contiguous", "striped"])
+def test_verdicts_identical_across_workers_and_partitioning(workers, mode):
+    # The ISSUE acceptance bar: serial and parallel verdicts byte-identical
+    # for workers in {1, 2, 4} under both partition modes, deterministic
+    # and randomised drivers alike.
+    engine = ParallelEngine(workers=workers, partition=mode, **SHARD)
+    serial = CachedEngine()
+    det = _cycle_decider()
+    jobs = [(cycle_graph(n, label="x"), None) for n in (12, 16, 9, 24, 7, 13)]
+    assert engine.run_many(det, jobs) == serial.run_many(det, jobs)
+    coin = _coin_decider()
+    rjobs = [(g, None, 100 + k) for k, (g, _) in enumerate(jobs)]
+    assert engine.run_randomised_many(coin, rjobs) == serial.run_randomised_many(coin, rjobs)
+    graph = grid_graph(6, 6, label="g")
+    ids = sequential_assignment(graph)
+    parity = FunctionAlgorithm(
+        lambda view: YES if view.max_visible_identifier() % 2 == 0 else NO, radius=1, name="parity"
+    )
+    assert engine.run(parity, graph, ids) == serial.run(parity, graph, ids)
+    assert engine.run_randomised(coin, graph, seed=7) == serial.run_randomised(coin, graph, seed=7)
 
 
 def test_one_worker_pool_is_serial_but_equivalent():

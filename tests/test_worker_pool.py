@@ -1,0 +1,283 @@
+"""Lifecycle of the persistent worker pool behind the ParallelEngine.
+
+The pool is process-wide and lazily created, so these tests bracket
+themselves with ``shutdown_pool()`` to start from a known-cold state; the
+pool re-forks lazily afterwards, so shutting it down never breaks later
+tests.  The load-bearing claims: workers survive across sweeps with zero
+re-forks, identical payloads are never re-shipped, a killed worker is
+replaced without losing a batch, shutdown is idempotent, unpicklable
+payloads fall back to fork inheritance, and workers replay settled jobs
+from a read-only verdict store.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.engine import (
+    CachedEngine,
+    CostModel,
+    ParallelEngine,
+    PersistentEngine,
+    VerdictStore,
+    get_pool,
+    shutdown_pool,
+)
+from repro.graphs import cycle_graph, path_graph
+from repro.local_model import NO, YES, FunctionIdObliviousAlgorithm
+
+#: Forced-pool configuration: tiny floors, no cost model.
+SHARD = dict(min_parallel_jobs=2, min_parallel_nodes=8, adaptive=False)
+
+
+class Deg2Decider:
+    """Module-level (hence picklable) Id-oblivious cycle decider."""
+
+    name = "deg2"
+    radius = 1
+    uses_identifiers = False
+
+    def evaluate(self, view):
+        return YES if view.center_degree() == 2 else NO
+
+
+class CoinAlgorithm:
+    """Module-level picklable randomised algorithm."""
+
+    name = "coin"
+    radius = 1
+    uses_identifiers = False
+
+    def evaluate(self, view, rng):
+        return YES if rng.random() < 0.5 else NO
+
+
+def _jobs(count=8, size=12):
+    return [(cycle_graph(size, label="x"), None) for _ in range(count)]
+
+
+@pytest.fixture
+def cold_pool():
+    shutdown_pool()
+    yield get_pool()
+    shutdown_pool()
+
+
+# ---------------------------------------------------------------------- #
+# Persistence across sweeps
+# ---------------------------------------------------------------------- #
+
+
+def test_pool_survives_sweeps_with_zero_reforks(cold_pool):
+    engine = ParallelEngine(workers=2, **SHARD)
+    jobs = _jobs()
+    first = engine.run_many(Deg2Decider(), jobs)
+    assert first == CachedEngine().run_many(Deg2Decider(), jobs)
+    forks_warm = cold_pool.forks
+    assert forks_warm >= 2  # the one-off fork tax
+    for _ in range(3):
+        engine.reset_stats()
+        assert engine.run_many(Deg2Decider(), jobs) == first
+        # Workers persist: the three follow-up sweeps re-fork nothing.
+        assert cold_pool.forks == forks_warm
+        assert engine.stats.extra.get("parallel_forks", 0) == 0
+        assert engine.stats.extra.get("parallel_batches") == 1
+
+
+def test_identical_payload_is_shipped_once(cold_pool):
+    engine = ParallelEngine(workers=2, **SHARD)
+    decider = Deg2Decider()
+    jobs = _jobs()
+    engine.run_many(decider, jobs)
+    ships = cold_pool.payload_ships
+    bytes_shipped = cold_pool.payload_ship_bytes
+    assert ships >= 1 and bytes_shipped > 0
+    for _ in range(3):
+        engine.run_many(decider, jobs)
+    # Same algorithm object + same job list => same generation: nothing
+    # but chunk indices travelled in the warm sweeps.
+    assert cold_pool.payload_ships == ships
+    assert cold_pool.payload_ship_bytes == bytes_shipped
+    # A different job list is a new generation and ships again.
+    engine.run_many(decider, _jobs(count=6))
+    assert cold_pool.payload_ships > ships
+
+
+def test_pool_is_shared_across_engine_instances(cold_pool):
+    jobs = _jobs()
+    ParallelEngine(workers=2, **SHARD).run_many(Deg2Decider(), jobs)
+    forks_warm = cold_pool.forks
+    # A second engine (a campaign builds one per scenario) reuses the
+    # same live workers instead of forking its own.
+    engine = ParallelEngine(workers=2, **SHARD)
+    engine.run_many(Deg2Decider(), jobs)
+    assert cold_pool.forks == forks_warm
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle: shutdown, context manager, recovery
+# ---------------------------------------------------------------------- #
+
+
+def test_shutdown_is_idempotent_and_pool_recovers(cold_pool):
+    engine = ParallelEngine(workers=2, **SHARD)
+    jobs = _jobs()
+    expected = engine.run_many(Deg2Decider(), jobs)
+    assert cold_pool.alive_workers() == 2
+    shutdown_pool()
+    assert cold_pool.alive_workers() == 0
+    shutdown_pool()  # idempotent: a second shutdown is a no-op
+    engine.shutdown()  # and the engine-level seam is too
+    assert cold_pool.alive_workers() == 0
+    # The pool re-forks lazily and the next sweep still works.
+    assert engine.run_many(Deg2Decider(), jobs) == expected
+    assert cold_pool.alive_workers() == 2
+
+
+def test_parallel_engine_is_a_context_manager(cold_pool):
+    jobs = _jobs()
+    with ParallelEngine(workers=2, **SHARD) as engine:
+        expected = engine.run_many(Deg2Decider(), jobs)
+        assert cold_pool.alive_workers() == 2
+    assert cold_pool.alive_workers() == 0
+    assert expected == CachedEngine().run_many(Deg2Decider(), jobs)
+
+
+def test_killed_worker_is_replaced_without_losing_the_batch(cold_pool):
+    engine = ParallelEngine(workers=2, **SHARD)
+    decider = Deg2Decider()
+    jobs = _jobs()
+    expected = engine.run_many(decider, jobs)
+    victim = cold_pool._handles[0].process
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=5.0)
+    deaths = cold_pool.deaths_recovered
+    engine.reset_stats()
+    assert engine.run_many(decider, jobs) == expected
+    assert cold_pool.deaths_recovered == deaths + 1
+    assert cold_pool.alive_workers() == 2
+
+
+def test_worker_error_propagates_and_pool_stays_usable(cold_pool):
+    class Exploding:
+        name = "exploding"
+        radius = 1
+        uses_identifiers = False
+
+        def evaluate(self, view):
+            raise ZeroDivisionError("boom")
+
+    engine = ParallelEngine(workers=2, **SHARD)
+    with pytest.raises(ZeroDivisionError, match="boom"):
+        engine.run_many(Exploding(), _jobs())
+    # The failure neither killed the workers nor desynchronised the pipes.
+    assert cold_pool.alive_workers() == 2
+    assert engine.run_many(Deg2Decider(), _jobs()) == CachedEngine().run_many(Deg2Decider(), _jobs())
+
+
+# ---------------------------------------------------------------------- #
+# Unpicklable payloads: the fork-inheritance fallback
+# ---------------------------------------------------------------------- #
+
+
+def test_unpicklable_payload_falls_back_to_fork_inheritance(cold_pool):
+    decider = FunctionIdObliviousAlgorithm(
+        lambda view: YES if view.center_degree() == 2 else NO, radius=1, name="lambda-deg2"
+    )
+    engine = ParallelEngine(workers=2, **SHARD)
+    jobs = _jobs()
+    forks_before = cold_pool.forks
+    bytes_before = cold_pool.payload_ship_bytes
+    outputs = engine.run_many(decider, jobs)
+    assert outputs == CachedEngine().run_many(decider, jobs)
+    forks = cold_pool.forks
+    assert forks - forks_before >= 2
+    assert cold_pool.payload_ship_bytes == bytes_before  # inherited, never pickled
+    # The inherited generation is cached too: an identical sweep re-forks
+    # nothing, while a *new* payload must re-fork (that is the fallback's
+    # documented cost).
+    assert engine.run_many(decider, jobs) == outputs
+    assert cold_pool.forks == forks
+    engine.run_many(decider, _jobs(count=6))
+    assert cold_pool.forks > forks
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side read-only store replay
+# ---------------------------------------------------------------------- #
+
+
+def test_workers_replay_settled_jobs_from_store(cold_pool, tmp_path):
+    decider = Deg2Decider()
+    jobs = [(cycle_graph(n, label="x"), None) for n in (9, 10, 11, 12, 13, 14)]
+    # Settle every job on disk through a plain serial store wrapper.
+    with VerdictStore(tmp_path / "store") as store:
+        PersistentEngine(store, inner=CachedEngine()).run_many(decider, jobs)
+    # Reopen with a 1-entry memory front: the parent evicts nearly every
+    # entry, so the misses it delegates to the pool are jobs the *workers*
+    # can replay from disk (they open the store read-only, full-sized).
+    with VerdictStore(tmp_path / "store", max_memory_entries=1) as tiny_front:
+        inner = ParallelEngine(workers=2, **SHARD)
+        engine = PersistentEngine(tiny_front, inner=inner)
+        outputs = engine.run_many(decider, jobs)
+        assert outputs == CachedEngine().run_many(decider, jobs)
+        worker_replays = engine.stats.extra.get("store_replayed", 0)
+        # The parent replayed at most one job from its tiny front; the rest
+        # came back from the workers' read-only mounts.
+        assert worker_replays >= len(jobs) - 1
+        # Workers never append to the store: no new segment files appeared.
+        segments = list((tmp_path / "store").glob("*.jsonl"))
+        assert len(segments) == 1
+
+
+def test_read_only_store_never_touches_disk(tmp_path):
+    store = VerdictStore(tmp_path / "ro", read_only=True)
+    store.put("digest", ["payload"])
+    assert store.get("digest") == ["payload"]
+    assert store.appends == 0
+    assert list((tmp_path / "ro").glob("*.jsonl")) == []
+
+
+# ---------------------------------------------------------------------- #
+# The cost model
+# ---------------------------------------------------------------------- #
+
+
+def test_cost_model_keeps_tiny_batches_in_process():
+    model = CostModel()
+    # One worker can never win, and tiny batches never cover the dispatch
+    # overhead even on a warm pool.
+    assert not model.prefer_pool(100, 1, warm=True)
+    assert not model.prefer_pool(10, 2, warm=True)
+    assert not model.prefer_pool(10, 2, warm=False)
+
+
+def test_cost_model_prefers_pool_for_large_batches_when_serial_is_slow():
+    model = CostModel()
+    model.observe_serial(1000, 1.0)  # 1 ms per unit in-process: slow
+    for _ in range(8):
+        model.observe_pool(1000, 0.01, 2)  # the pool is much faster
+    assert model.prefer_pool(100_000, 2, warm=True)
+    # Cold-pool fork cost still protects small batches.
+    assert not model.prefer_pool(100, 2, warm=False)
+
+
+def test_cost_model_ewma_moves_towards_observations():
+    model = CostModel(alpha=0.5)
+    before = model.serial_rate
+    model.observe_serial(1_000_000, 1.0)  # 1 µs per unit
+    assert model.serial_rate != before
+    model.observe_pool(0, 1.0, 2)  # zero-unit observations are ignored
+    assert model.pool_rate == CostModel().pool_rate
+
+
+def test_adaptive_engine_keeps_small_sweeps_off_the_pool(cold_pool):
+    forks_before = cold_pool.forks
+    engine = ParallelEngine(workers=2)  # adaptive, default floors
+    jobs = [(path_graph(6, label="x"), None) for _ in range(3)]
+    outputs = engine.run_many(Deg2Decider(), jobs)
+    assert outputs == CachedEngine().run_many(Deg2Decider(), jobs)
+    # Below the floors and below any sane cost threshold: no forks at all.
+    assert cold_pool.forks == forks_before
+    assert "parallel_batches" not in engine.stats.extra
