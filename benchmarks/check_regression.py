@@ -136,7 +136,11 @@ def evaluate_gate(
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog="Every committed BENCH_*.json record, its gated key, floor and "
+        "regeneration command is documented in docs/BENCHMARKS.md.",
+    )
     parser.add_argument(
         "baseline", type=Path, nargs="?", default=None, help="committed benchmark record"
     )

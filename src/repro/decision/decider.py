@@ -12,6 +12,13 @@ random assignments) — this is the mechanical replacement for the paper's
 "for every Id" quantifier, and it is how the test-suite and benchmarks
 establish that the LD deciders of Sections 2 and 3 are correct and that
 candidate Id-oblivious deciders are not.
+
+The whole ``(instance × assignment)`` grid is submitted through one
+``engine.run_many`` call per sweep, so whichever backend is selected sees
+the full batch at once — the default :class:`~repro.engine.direct.DirectEngine`
+then serves every assignment of a graph from one vectorised ball
+collection (:mod:`repro.engine.interned`), and parallel/persistent
+backends shard or replay the same batch with identical verdicts.
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@
 * :class:`~repro.engine.cached.CachedEngine` — the fast path: batched BFS
   ball extraction per graph, canonical-key interning, and memoised
   evaluation per ``(algorithm, view key)``;
+* :mod:`~repro.engine.interned` — the vectorised core under both of the
+  above: graphs interned into CSR integer arrays, ball extraction as
+  frontier expansion over boolean masks, canonical keys as bytes of
+  canonicalised array slices (with a dict-based fallback for graphs that
+  fail interning);
 * :class:`~repro.engine.parallel.ParallelEngine` — sweep sharding across
   the persistent :class:`~repro.engine.pool.WorkerPool` of warm caching
   workers, with cost-model routing and deterministic work partitioning;
@@ -33,6 +38,13 @@ from .base import (
 )
 from .cached import CachedEngine
 from .direct import DirectEngine
+from .interned import (
+    InternedGraph,
+    intern_graph,
+    interned_id_free_views,
+    interned_view_key,
+    interned_views_available,
+)
 from .parallel import ParallelEngine, partition_chunks
 from .persistent import (
     PersistentEngine,
@@ -72,6 +84,11 @@ __all__ = [
     "exact_algorithm_fingerprint",
     "job_digest",
     "partition_chunks",
+    "InternedGraph",
+    "intern_graph",
+    "interned_id_free_views",
+    "interned_view_key",
+    "interned_views_available",
     "LRUStore",
     "CostModel",
     "WorkerPool",

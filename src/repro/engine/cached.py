@@ -42,6 +42,7 @@ from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
 from .base import ExecutionEngine
+from .interned import interned_id_free_views, interned_view_key
 from .store import LRUStore
 
 if TYPE_CHECKING:  # type-only; keeps engine ↔ local_model import-cycle-free
@@ -187,7 +188,13 @@ class CachedEngine(ExecutionEngine):
         if cached is not None:
             self.stats.ball_hits += len(cached)
             return cached
-        views = _batched_balls(graph, radius)
+        # Vectorised fast path: graphs that intern get their whole ball
+        # collection from a few array ops per radius (and array-backed
+        # canonical keys downstream); anything else takes the dict-based
+        # batched BFS, with identical outputs.
+        views = interned_id_free_views(graph, radius)
+        if views is None:
+            views = _batched_balls(graph, radius)
         self.stats.ball_extractions += len(views)
         self._balls.put(cache_key, views)
         return views
@@ -199,6 +206,7 @@ class CachedEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Neighbourhood]:
+        """Serve views from the per-``(graph, radius)`` ball cache, attaching ``ids`` on top."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         base = self._id_free_views(graph, radius)
         missing = [v for v in chosen if v not in base]
@@ -221,6 +229,7 @@ class CachedEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
+        """Run with whole-run memoisation: repeat ``(algorithm, graph[, ids])`` runs are one lookup."""
         if nodes is not None:
             # Partial runs are not worth a cache slot; they still benefit
             # from the ball cache and the per-view memo.
@@ -244,6 +253,23 @@ class CachedEngine(ExecutionEngine):
     # ------------------------------------------------------------------ #
 
     def _view_key(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Optional[Tuple]:
+        if view.interned is not None:
+            # Array-backed canonical key: the lexicographically smallest
+            # ``tobytes()`` encoding of the canonicalised ball arrays.  The
+            # bytes partition views exactly like the tuple keys below (same
+            # colour invariants, same refinement and class-size budgets);
+            # ``None`` means the search budget was exceeded, in which case
+            # we fall through to the tuple path (whose own fallback refuses
+            # memoisation).  Bytes and tuples can never compare equal, so
+            # the two key families coexist soundly in one memo store.
+            if not algorithm.uses_identifiers:
+                kind = "oblivious"
+                key_bytes = interned_view_key(view, use_ids=False)
+            else:
+                kind = "id" if view.ids is not None else "bare"
+                key_bytes = interned_view_key(view, use_ids=view.ids is not None)
+            if key_bytes is not None:
+                return (kind, view.radius, self._keys.intern(key_bytes))
         if not algorithm.uses_identifiers:
             canonical = view.oblivious_key()
             kind = "oblivious"
@@ -258,6 +284,7 @@ class CachedEngine(ExecutionEngine):
         return (kind, view.radius, self._keys.intern(canonical))
 
     def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
+        """Evaluate one view, memoised per ``(algorithm, canonical view key)``."""
         if not algorithm.uses_identifiers and view.ids is not None:
             view = view.without_ids()
         self.stats.nodes_run += 1

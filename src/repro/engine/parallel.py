@@ -298,6 +298,7 @@ class ParallelEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
+        """Run one deterministic whole-graph job, sharding its nodes across workers when the cost model approves."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         if not chosen:
             return {}
@@ -334,6 +335,7 @@ class ParallelEngine(ExecutionEngine):
         seed: Optional[int] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
+        """Run one randomised job with per-node seeds, sharded like :meth:`run`."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         if not chosen:
             return {}
@@ -370,6 +372,7 @@ class ParallelEngine(ExecutionEngine):
         algorithm: "LocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
     ) -> List[Dict[Node, Hashable]]:
+        """Shard a deterministic ``(graph, ids)`` job list across the worker pool, in job order."""
         jobs = list(jobs)
         if not jobs:
             return []
@@ -396,6 +399,7 @@ class ParallelEngine(ExecutionEngine):
         algorithm: "RandomisedLocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
     ) -> List[Dict[Node, Hashable]]:
+        """Shard a randomised ``(graph, ids, seed)`` job list across the worker pool, in job order."""
         jobs = list(jobs)
         if not jobs:
             return []
@@ -435,10 +439,12 @@ class ParallelEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Neighbourhood]:
+        """Produce views through the warm in-process inner engine (never sharded)."""
         with self._borrow_inner() as inner:
             return inner.views(graph, radius, ids, nodes)
 
     def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
+        """Evaluate one view through the warm in-process inner engine (never sharded)."""
         with self._borrow_inner() as inner:
             return inner.evaluate_view(algorithm, view)
 

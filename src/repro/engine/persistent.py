@@ -578,6 +578,14 @@ class PersistentEngine(ExecutionEngine):
         shared with the inner engine, with the store traffic surfaced as
         ``store_replayed`` / ``store_computed`` extras, so drivers and
         campaign reports can distinguish replayed from computed jobs.
+    replay_only:
+        When true, serve (and count) store hits but never persist what
+        the inner engine computes — no ``store_computed`` counting, no
+        writes, not even to the in-memory front.  This is the worker-side
+        mount inside :class:`~repro.engine.pool.WorkerPool`: the parent
+        wrapper owns the job accounting and the durable writes, so a
+        worker front that also counted its same-sweep computations would
+        double-book them when worker stats merge back.
 
     Only *whole* runs are persisted (complete output maps of one
     ``(graph, ids[, seed])`` job); partial node subsets and randomised
@@ -593,10 +601,12 @@ class PersistentEngine(ExecutionEngine):
         self,
         store: Union[VerdictStore, str, Path],
         inner: EngineLike = None,
+        replay_only: bool = False,
     ) -> None:
         super().__init__()
         self.store = store if isinstance(store, VerdictStore) else VerdictStore(store)
         self.inner = resolve_engine(inner if inner is not None else "cached")
+        self.replay_only = replay_only
         # Share the inner engine's stats object so computed work is counted
         # once, and layer the store counters into its extras.
         self.stats = self.inner.stats
@@ -610,6 +620,7 @@ class PersistentEngine(ExecutionEngine):
             attach(str(self.store.path))
 
     def reset_stats(self) -> None:
+        """Reset the shared stats counters of the wrapped inner engine."""
         self.inner.reset_stats()
         self.stats = self.inner.stats
 
@@ -668,6 +679,8 @@ class PersistentEngine(ExecutionEngine):
         return outputs
 
     def _persist(self, digest: str, graph: LabelledGraph, outputs: Dict[Node, Hashable]) -> None:
+        if self.replay_only:
+            return
         self._count("store_computed")
         try:
             self.store.put(digest, _encode_outputs(graph, outputs))
@@ -683,9 +696,11 @@ class PersistentEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Neighbourhood]:
+        """Delegate view extraction to the inner engine (views are never persisted)."""
         return self.inner.views(graph, radius, ids, nodes)
 
     def evaluate_view(self, algorithm: "LocalAlgorithm", view: Neighbourhood) -> Hashable:
+        """Delegate single-view evaluation to the inner engine (not persisted)."""
         return self.inner.evaluate_view(algorithm, view)
 
     # -- persistent drivers ------------------------------------------------ #
@@ -697,6 +712,7 @@ class PersistentEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
+        """Run one deterministic job, replaying it from the verdict store when possible."""
         if nodes is not None:
             return self.inner.run(algorithm, graph, ids, nodes)
         digest = self._digest(algorithm, graph, self._ids_for(algorithm, ids))
@@ -715,6 +731,7 @@ class PersistentEngine(ExecutionEngine):
         seed: Optional[int] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
+        """Run one seeded randomised job, replaying from the store when the seed pins it."""
         if nodes is not None or seed is None:
             # Without an explicit seed the run is not a pure function of
             # its arguments; it must not be replayed.
@@ -732,6 +749,7 @@ class PersistentEngine(ExecutionEngine):
         algorithm: "LocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
     ) -> List[Dict[Node, Hashable]]:
+        """Replay what the store already holds; batch only the missing jobs to the inner engine."""
         jobs = list(jobs)
         results: List[Optional[Dict[Node, Hashable]]] = [None] * len(jobs)
         missing: List[int] = []
@@ -756,6 +774,7 @@ class PersistentEngine(ExecutionEngine):
         algorithm: "RandomisedLocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
     ) -> List[Dict[Node, Hashable]]:
+        """Seeded randomised batch: replay stored jobs, compute and persist the rest."""
         jobs = list(jobs)
         results: List[Optional[Dict[Node, Hashable]]] = [None] * len(jobs)
         missing: List[int] = []

@@ -39,6 +39,10 @@ This module replaces that with the process-wide machinery the ROADMAP's
   every ``ParallelEngine``.  Because it is shared, ball collections and
   memoised verdicts survive across the per-scenario engines a campaign
   creates, which is where the measured quick-matrix speedup comes from.
+  Because workers run ``CachedEngine``s, they inherit the vectorised
+  interned-graph fast path (:mod:`repro.engine.interned`) automatically —
+  each worker interns a graph once and serves every sharded chunk of the
+  sweep from the same array-backed ball tables.
 
 Lifecycle: the pool is created lazily on first use, shut down explicitly
 with :func:`shutdown_pool` (idempotent; also registered via ``atexit``)
@@ -164,12 +168,22 @@ _INHERITED: Optional[Tuple[int, PoolPayload]] = None
 
 
 def _store_front(stores: Dict[str, Any], path: str, engine: CachedEngine):
-    """A worker's read-only verdict-store wrapper for ``path`` (cached)."""
+    """A worker's read-only verdict-store wrapper for ``path`` (cached).
+
+    The front is ``replay_only``: it serves (and counts) jobs already
+    settled on disk, but never records its own same-sweep computations —
+    the parent-side :class:`PersistentEngine` owns persistence and the
+    ``store_computed`` accounting, so a worker front that also counted
+    (or memory-front cached) what it computes would double-book those
+    jobs when the worker stats merge back into the parent's.
+    """
     front = stores.get(path)
     if front is None:
         from .persistent import PersistentEngine, VerdictStore
 
-        front = PersistentEngine(VerdictStore(path, read_only=True), inner=engine)
+        front = PersistentEngine(
+            VerdictStore(path, read_only=True), inner=engine, replay_only=True
+        )
         stores[path] = front
     return front
 

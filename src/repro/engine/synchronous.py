@@ -51,6 +51,7 @@ class SynchronousEngine(ExecutionEngine):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Neighbourhood]:
+        """Gather views by running the message-passing simulator for ``radius`` rounds."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         sim = SynchronousSimulator(graph, ids)
         sim.run_rounds(radius + self.extra_rounds)

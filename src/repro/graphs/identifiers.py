@@ -115,6 +115,21 @@ class IdAssignment(Mapping[Node, int]):
             raise IdentifierError(f"cannot restrict: nodes {sorted(map(repr, missing))[:5]} have no identifier")
         return IdAssignment({v: i for v, i in self._map.items() if v in keep})
 
+    def _restrict_trusted(self, nodes: Iterable[Node]) -> "IdAssignment":
+        """Restrict to ``nodes`` without re-validating injectivity.
+
+        Internal fast path for the vectorised core: a sub-map of an
+        injective map is injective, so only membership can fail (reported
+        as :class:`IdentifierError`, matching :meth:`restrict`).
+        """
+        try:
+            sub = {v: self._map[v] for v in nodes}
+        except KeyError as exc:
+            raise IdentifierError(f"cannot restrict: node {exc.args[0]!r} has no identifier") from exc
+        restricted = IdAssignment.__new__(IdAssignment)
+        restricted._map = sub
+        return restricted
+
     def renamed(self, renaming: Mapping[int, int]) -> "IdAssignment":
         """Return a new assignment with identifiers substituted via ``renaming``.
 
@@ -213,6 +228,7 @@ class BoundedIdentifierSpace(IdentifierSpace):
         return self._bound_fn
 
     def bound_for(self, n: int) -> int:
+        """Return ``f(n)``, checking it admits a one-to-one assignment."""
         b = self._bound_fn(n)
         if b < n:
             raise IdentifierError(
@@ -221,6 +237,7 @@ class BoundedIdentifierSpace(IdentifierSpace):
         return b
 
     def is_legal(self, graph: LabelledGraph, ids: IdAssignment) -> bool:
+        """Whether every identifier of ``ids`` lies below ``f(n)``."""
         return ids.respects_bound(self.bound_for(graph.num_nodes()))
 
     def inverse_bound(self, identifier: int, max_n: int = 10**6) -> int:
@@ -257,9 +274,11 @@ class UnboundedIdentifierSpace(IdentifierSpace):
     """Model ``(¬B)``: any one-to-one assignment into ℕ is legal."""
 
     def bound_for(self, n: int) -> Optional[int]:
+        """Return ``None``: identifiers are unbounded in the ``(not B)`` model."""
         return None
 
     def is_legal(self, graph: LabelledGraph, ids: IdAssignment) -> bool:
+        """Whether ``ids`` covers the graph (any one-to-one map is legal)."""
         return len(ids) >= graph.num_nodes()
 
 

@@ -100,6 +100,22 @@ class LabelledGraph:
         self._labels: Dict[Node, Label] = label_map
         self._hash: Optional[int] = None
 
+    @classmethod
+    def _from_trusted(cls, adj: Dict[Node, FrozenSet[Node]], labels: Dict[Node, Label]) -> "LabelledGraph":
+        """Build a graph from pre-validated internals, skipping all checks.
+
+        Internal fast path for the vectorised core (:mod:`repro.engine.
+        interned`), which derives ``adj``/``labels`` from arrays that are
+        correct by construction.  ``adj`` must be a symmetric simple
+        adjacency of frozensets and ``labels`` must cover exactly its keys;
+        both are adopted without copying.
+        """
+        graph = cls.__new__(cls)
+        graph._adj = adj
+        graph._labels = labels
+        graph._hash = None
+        return graph
+
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #

@@ -55,9 +55,17 @@ class Neighbourhood:
     ids:
         The identifier assignment restricted to the ball, or ``None`` when
         the view is identifier-free.
+
+    Notes
+    -----
+    Views produced by the vectorised core (:mod:`repro.engine.interned`)
+    additionally carry an ``interned`` payload — array-backed ball data the
+    caching engine uses to compute canonical keys without the tuple-based
+    search below.  Views built through the ordinary constructor have
+    ``interned = None`` and behave identically.
     """
 
-    __slots__ = ("graph", "center", "radius", "distances", "ids", "_struct_key", "_obliv_key")
+    __slots__ = ("graph", "center", "radius", "distances", "ids", "interned", "_struct_key", "_obliv_key")
 
     def __init__(
         self,
@@ -81,8 +89,37 @@ class Neighbourhood:
         self.radius = radius
         self.distances = dict(distances)
         self.ids = ids
+        self.interned = None
         self._struct_key: Optional[Tuple] = None
         self._obliv_key: Optional[Tuple] = None
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        graph: LabelledGraph,
+        center: Node,
+        radius: int,
+        distances: Dict[Node, int],
+        ids: Optional[IdAssignment],
+        interned: Optional[object] = None,
+    ) -> "Neighbourhood":
+        """Build a view from pre-validated parts, skipping all checks.
+
+        Internal fast path for the vectorised core: ``distances`` must
+        cover exactly the ball nodes and ``ids`` (when given) must already
+        be restricted to them.  ``distances`` is adopted without copying;
+        ``interned`` attaches the array payload used for canonical keys.
+        """
+        view = cls.__new__(cls)
+        view.graph = graph
+        view.center = center
+        view.radius = radius
+        view.distances = distances
+        view.ids = ids
+        view.interned = interned
+        view._struct_key = None
+        view._obliv_key = None
+        return view
 
     # ------------------------------------------------------------------ #
     # Convenience accessors used by node algorithms
@@ -144,11 +181,17 @@ class Neighbourhood:
 
     def without_ids(self) -> "Neighbourhood":
         """Return the same view with the identifiers stripped (what an Id-oblivious algorithm sees)."""
-        return Neighbourhood(self.graph, self.center, self.radius, self.distances, ids=None)
+        if self.ids is None:
+            return self
+        return Neighbourhood._from_trusted(
+            self.graph, self.center, self.radius, self.distances, None, self.interned
+        )
 
     def with_ids(self, ids: IdAssignment) -> "Neighbourhood":
         """Return the same view with identifiers (re)attached."""
-        return Neighbourhood(self.graph, self.center, self.radius, self.distances, ids=ids)
+        view = Neighbourhood(self.graph, self.center, self.radius, self.distances, ids=ids)
+        view.interned = self.interned
+        return view
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``bash``/``python`` snippet in the documentation.
+
+The CI ``docs`` job runs this script so the README and ``docs/*.md`` can
+never drift from the code they describe: a snippet that stops running is
+a red build, not a stale example.
+
+Rules:
+
+* fenced blocks whose info string is ``bash``/``sh`` run under
+  ``bash -e`` from the repository root;
+* fenced blocks whose info string is ``python``/``py`` are written to a
+  temporary file and run with ``PYTHONPATH=src`` from the repository
+  root;
+* any other info string (or none — e.g. the JSON report-shape figures)
+  is ignored;
+* an HTML comment ``<!-- docs-snippet: skip (reason) -->`` on one of the
+  three lines above a fence skips it — for snippets another CI job
+  already executes (the examples job, the bench job's campaign and
+  matrix gates) or that are deliberately long-running.  The reason is
+  printed, so skips stay visible.
+
+Usage::
+
+    python tools/check_doc_snippets.py            # run everything
+    python tools/check_doc_snippets.py --list     # show what would run
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_RE = re.compile(r"<!--\s*docs-snippet:\s*skip\b(.*?)-->")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+#: How many lines above a fence the skip marker may sit.
+SKIP_WINDOW = 3
+
+LANG_BASH = frozenset({"bash", "sh"})
+LANG_PYTHON = frozenset({"python", "py"})
+
+
+@dataclass
+class Snippet:
+    path: Path
+    line: int  # 1-based line of the opening fence
+    lang: str
+    body: str
+    skip_reason: Optional[str]  # None = run it
+
+    @property
+    def label(self) -> str:
+        return f"{self.path.relative_to(REPO_ROOT)}:{self.line} [{self.lang}]"
+
+
+def extract_snippets(path: Path) -> List[Snippet]:
+    """Parse one markdown file into its runnable snippets."""
+    lines = path.read_text().splitlines()
+    snippets: List[Snippet] = []
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if not match or not match.group(1):
+            i += 1
+            continue
+        lang = match.group(1).lower()
+        start = i
+        body: List[str] = []
+        i += 1
+        while i < len(lines) and lines[i].strip() != "```":
+            body.append(lines[i])
+            i += 1
+        i += 1  # past the closing fence
+        if lang not in LANG_BASH and lang not in LANG_PYTHON:
+            continue
+        skip_reason = None
+        for back in range(1, SKIP_WINDOW + 1):
+            if start - back < 0:
+                break
+            found = SKIP_RE.search(lines[start - back])
+            if found:
+                skip_reason = found.group(1).strip() or "no reason given"
+                break
+        snippets.append(Snippet(path, start + 1, lang, "\n".join(body) + "\n", skip_reason))
+    return snippets
+
+
+def run_snippet(snippet: Snippet) -> subprocess.CompletedProcess:
+    """Execute one snippet from the repository root."""
+    if snippet.lang in LANG_BASH:
+        return subprocess.run(
+            ["bash", "-e", "-c", snippet.body],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as handle:
+        handle.write(snippet.body)
+        script = handle.name
+    try:
+        return subprocess.run(
+            [sys.executable, script],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+    finally:
+        Path(script).unlink(missing_ok=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=Path,
+        help="markdown files to check (default: README.md and docs/*.md)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the snippets without executing them"
+    )
+    args = parser.parse_args(argv)
+
+    files = args.files or [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    snippets = [s for f in files for s in extract_snippets(f)]
+    if not snippets:
+        print("no bash/python snippets found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    ran = skipped = 0
+    for snippet in snippets:
+        if snippet.skip_reason is not None:
+            skipped += 1
+            print(f"SKIP  {snippet.label} — {snippet.skip_reason}")
+            continue
+        if args.list:
+            print(f"RUN   {snippet.label}")
+            continue
+        result = run_snippet(snippet)
+        ran += 1
+        if result.returncode == 0:
+            print(f"PASS  {snippet.label}")
+        else:
+            failures += 1
+            print(f"FAIL  {snippet.label} (exit {result.returncode})")
+            for stream, text in (("stdout", result.stdout), ("stderr", result.stderr)):
+                if text.strip():
+                    print(f"----- {stream} -----")
+                    print(text.rstrip())
+    if not args.list:
+        print(f"{ran} executed, {skipped} skipped, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
