@@ -24,12 +24,22 @@ execution engine — and runs whole grids in one go:
   (``--store``, ``--resume``, ``--min-replayed``).
 """
 
-from .runner import DEFAULT_REPORT_PATH, resume_campaign, run_campaign, run_scenario, write_report
+from .runner import (
+    DEFAULT_REPORT_PATH,
+    load_result_log,
+    replay_summary,
+    resume_campaign,
+    run_campaign,
+    run_scenario,
+    write_report,
+)
 from .scenarios import bundled_scenarios, get_scenario, scenario_names
 from .spec import CampaignReport, ScenarioResult, ScenarioSpec, ScenarioWorkload
 
 __all__ = [
     "DEFAULT_REPORT_PATH",
+    "load_result_log",
+    "replay_summary",
     "resume_campaign",
     "run_campaign",
     "run_scenario",

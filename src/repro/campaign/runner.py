@@ -10,7 +10,8 @@ next to the engine benchmark records, so the performance and correctness
 trajectory of the reproduction is tracked across PRs by the same CI
 artifacts.
 
-Two incremental mechanisms make repeated campaigns cheap:
+Three incremental mechanisms make repeated campaigns cheap — and partial
+ones recoverable:
 
 * ``store=`` wraps every scenario's engine in one shared
   :class:`~repro.engine.persistent.VerdictStore`
@@ -21,6 +22,18 @@ Two incremental mechanisms make repeated campaigns cheap:
 * :func:`resume_campaign` merges into an existing report: scenarios whose
   recorded spec digest still matches (and whose verdict is present) are
   carried over untouched, and only missing or stale scenarios are re-run.
+* ``log_path=`` appends every completed scenario result as one JSON line
+  to an append-only result log *as the sweep progresses*, and reuses any
+  logged result whose spec digest still matches before running a cell —
+  so a million-cell sweep killed halfway resumes from the log instead of
+  starting over, and the final report is assembled only at the end
+  (atomically, via :func:`write_report`).
+
+``run_campaign`` and ``resume_campaign`` consume any *iterable* of specs
+(not just materialised lists): fed from
+:meth:`~repro.workloads.matrix.WorkloadMatrix.iter_cells` or a
+:class:`~repro.workloads.sampling.SamplePlan`, a sweep streams cells one
+at a time and never holds the whole cross in memory.
 """
 
 from __future__ import annotations
@@ -32,7 +45,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from ..adversary.search import find_counterexample
 from ..decision.decider import verify_decider
@@ -48,6 +61,7 @@ __all__ = [
     "run_campaign",
     "resume_campaign",
     "replay_summary",
+    "load_result_log",
     "write_report",
     "DEFAULT_REPORT_PATH",
 ]
@@ -216,37 +230,136 @@ def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioR
     )
 
 
+def load_result_log(path: Union[str, Path]) -> Dict[str, ScenarioResult]:
+    """Load an append-only JSONL result log into a name-indexed dict.
+
+    Each line is one :meth:`ScenarioResult.as_dict` payload.  The log is
+    written incrementally by a running sweep, so a crash can leave a
+    truncated (or otherwise malformed) trailing line — such lines are
+    skipped rather than fatal, which is exactly what makes the log usable
+    for crash recovery.  When the same scenario appears more than once
+    (e.g. re-run after its spec changed), the latest line wins.
+    """
+    path = Path(path)
+    results: Dict[str, ScenarioResult] = {}
+    if not path.exists():
+        return results
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                result = ScenarioResult.from_dict(payload)
+            except (ValueError, KeyError, TypeError):
+                continue  # truncated tail of a crashed sweep
+            results[result.name] = result
+    return results
+
+
+def _append_result(handle, result: ScenarioResult) -> None:
+    """Append one result line to the open log and push it to disk."""
+    handle.write(json.dumps(result.as_dict(), sort_keys=True) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _open_log(path: Union[str, Path]):
+    """Open the result log for appending, healing a truncated tail.
+
+    A crash mid-write can leave the last line without its newline; start
+    the next record on a fresh line so it stays parseable (the truncated
+    fragment is skipped by :func:`load_result_log` either way).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = path.open("a")
+    if handle.tell() > 0:
+        with path.open("rb") as probe:
+            probe.seek(-1, os.SEEK_END)
+            if probe.read(1) != b"\n":
+                handle.write("\n")
+    return handle
+
+
+def _iter_specs(
+    scenarios: Optional[Iterable[Union[ScenarioSpec, str]]],
+    seed: Optional[int],
+) -> Iterator[ScenarioSpec]:
+    """Stream specs from any iterable, resolving names and applying ``seed``.
+
+    This is deliberately lazy: a million-cell matrix iterator (or a sample
+    plan's spec stream) passes through one spec at a time.
+    """
+    source: Iterable[Union[ScenarioSpec, str]] = (
+        scenarios if scenarios is not None else bundled_scenarios()
+    )
+    for item in source:
+        spec = get_scenario(item) if isinstance(item, str) else item
+        if seed is not None and seed != spec.seed:
+            spec = dataclasses.replace(spec, seed=seed)
+        yield spec
+
+
 def run_campaign(
-    scenarios: Optional[Sequence[Union[ScenarioSpec, str]]] = None,
+    scenarios: Optional[Iterable[Union[ScenarioSpec, str]]] = None,
     engine: EngineLike = None,
     workers: Optional[int] = None,
     quick: bool = False,
     name: str = "podc13-reproduction",
     store: StoreLike = None,
     seed: Optional[int] = None,
+    log_path: Union[str, Path, None] = None,
 ) -> CampaignReport:
-    """Execute a list of scenarios (default: the whole bundle) into one report.
+    """Execute an iterable of scenarios (default: the whole bundle) into one report.
 
-    ``store`` opens (or reuses) one verdict store shared by every scenario
-    of the campaign, so both cross-run *and* cross-scenario repeats replay.
-    ``seed`` overrides every scenario's declared sampling/search seed.
+    ``scenarios`` may be any iterable — a list of names, a generator of
+    specs from :meth:`~repro.workloads.matrix.WorkloadMatrix.iter_scenarios`,
+    or a sample plan's stream — and is consumed lazily, one spec at a
+    time.  ``store`` opens (or reuses) one verdict store shared by every
+    scenario of the campaign, so both cross-run *and* cross-scenario
+    repeats replay.  ``seed`` overrides every scenario's declared
+    sampling/search seed.
+
+    ``log_path`` makes the sweep *incremental*: every completed result is
+    appended to the JSONL log immediately (flushed and fsynced, so a crash
+    loses at most the in-flight cell), and before running a cell any
+    logged result with a matching spec digest is carried over as resumed.
+    Re-invoking the same sweep after a crash therefore re-runs only the
+    cells the previous attempt never finished.
     """
-    chosen: List[ScenarioSpec] = [
-        get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
-    ]
     engine_label = engine if isinstance(engine, str) else (
         getattr(engine, "name", "per-scenario") if engine is not None else "per-scenario"
     )
     report = CampaignReport(name=name, engine=str(engine_label), quick=quick)
     verdict_store, owns_store = _resolve_store(store)
+    logged: Dict[str, ScenarioResult] = {}
+    log_handle = None
+    if log_path is not None:
+        logged = load_result_log(log_path)
+        log_handle = _open_log(log_path)
     try:
-        for spec in chosen:
-            report.results.append(
-                run_scenario(
-                    spec, engine=engine, workers=workers, quick=quick, store=verdict_store, seed=seed
-                )
+        for spec in _iter_specs(scenarios, seed):
+            old = logged.get(spec.name)
+            if (
+                old is not None
+                and old.spec_digest
+                and old.spec_digest == spec.digest(quick)
+                and old.summary
+            ):
+                old.resumed = True
+                report.results.append(old)
+                continue
+            result = run_scenario(
+                spec, engine=engine, workers=workers, quick=quick, store=verdict_store
             )
+            report.results.append(result)
+            if log_handle is not None:
+                _append_result(log_handle, result)
     finally:
+        if log_handle is not None:
+            log_handle.close()
         if owns_store and verdict_store is not None:
             verdict_store.close()
     return report
@@ -254,23 +367,29 @@ def run_campaign(
 
 def resume_campaign(
     report_path: Union[str, Path],
-    scenarios: Optional[Sequence[Union[ScenarioSpec, str]]] = None,
+    scenarios: Optional[Iterable[Union[ScenarioSpec, str]]] = None,
     engine: EngineLike = None,
     workers: Optional[int] = None,
     quick: Optional[bool] = None,
     store: StoreLike = None,
     seed: Optional[int] = None,
+    log_path: Union[str, Path, None] = None,
 ) -> Tuple[CampaignReport, int]:
     """Re-run only the missing/stale scenarios of an existing report.
 
     The report at ``report_path`` is loaded and, for every requested
-    scenario (default: the whole bundle), its recorded result is carried
-    over unchanged when its ``spec_digest`` matches the current spec —
-    i.e. the scenario's workload has not changed since the verdict was
-    recorded.  Scenarios that are missing from the report, were recorded
-    under a different digest, or lack a verdict are re-run (through
-    ``store`` when given).  ``quick=None`` inherits the original report's
-    mode, so a resumed campaign stays comparable with itself.
+    scenario (default: the whole bundle; any iterable, consumed lazily),
+    its recorded result is carried over unchanged when its ``spec_digest``
+    matches the current spec — i.e. the scenario's workload has not
+    changed since the verdict was recorded.  Scenarios that are missing
+    from the report, were recorded under a different digest, or lack a
+    verdict are re-run (through ``store`` when given).  ``quick=None``
+    inherits the original report's mode, so a resumed campaign stays
+    comparable with itself.
+
+    ``log_path`` behaves as in :func:`run_campaign`: results logged by an
+    interrupted attempt are reused (counting toward ``reused``), and every
+    freshly computed result is appended to the log as it completes.
 
     Returns the merged report and the number of scenarios reused.
     """
@@ -280,41 +399,50 @@ def resume_campaign(
     if quick is None:
         quick = previous.quick
     by_name: Dict[str, ScenarioResult] = {r.name: r for r in previous.results}
-    chosen: List[ScenarioSpec] = [
-        get_scenario(s) if isinstance(s, str) else s for s in (scenarios or bundled_scenarios())
-    ]
-    if seed is not None:
-        chosen = [
-            dataclasses.replace(spec, seed=seed) if spec.seed != seed else spec for spec in chosen
-        ]
     merged = CampaignReport(name=previous.name, engine=previous.engine, quick=quick)
     verdict_store, owns_store = _resolve_store(store)
+    logged: Dict[str, ScenarioResult] = {}
+    log_handle = None
+    if log_path is not None:
+        logged = load_result_log(log_path)
+        log_handle = _open_log(log_path)
     reused = 0
+    requested: set = set()
     try:
-        for spec in chosen:
-            old = by_name.get(spec.name)
+        for spec in _iter_specs(scenarios, seed):
+            requested.add(spec.name)
             # Reuse only when the recorded digest matches the current spec
             # AND the record actually carries a verdict (a summary written
-            # by a completed run); anything else is stale and re-runs.
-            if (
-                old is not None
-                and old.spec_digest
-                and old.spec_digest == spec.digest(quick)
-                and old.summary
+            # by a completed run); anything else is stale and re-runs.  The
+            # prior report is consulted first, then the incremental log of
+            # an interrupted attempt.
+            old = by_name.get(spec.name)
+            if old is None or not (
+                old.spec_digest and old.spec_digest == spec.digest(quick) and old.summary
             ):
+                old = logged.get(spec.name)
+                if old is not None and not (
+                    old.spec_digest and old.spec_digest == spec.digest(quick) and old.summary
+                ):
+                    old = None
+            if old is not None:
                 old.resumed = True
                 merged.results.append(old)
                 reused += 1
                 continue
-            merged.results.append(
-                run_scenario(spec, engine=engine, workers=workers, quick=quick, store=verdict_store)
+            result = run_scenario(
+                spec, engine=engine, workers=workers, quick=quick, store=verdict_store
             )
+            merged.results.append(result)
+            if log_handle is not None:
+                _append_result(log_handle, result)
     finally:
+        if log_handle is not None:
+            log_handle.close()
         if owns_store and verdict_store is not None:
             verdict_store.close()
     # Results present in the old report but outside the requested scenario
     # list are preserved, so a partial resume never drops history.
-    requested = {spec.name for spec in chosen}
     for result in previous.results:
         if result.name not in requested:
             merged.results.append(result)

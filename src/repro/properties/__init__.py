@@ -17,6 +17,16 @@ from .matching import (
 from .planarity import PlanarityProperty
 from .paths import ForbiddenWindowDecider, RegularPathProperty, is_path, label_word
 from .hereditary import HereditaryProperty, induced_subgraphs, is_hereditary_on
+from .fractional import (
+    FractionalColouringDecider,
+    FractionalColouringProperty,
+    fractional_colouring,
+)
+from .forests import (
+    SpanningForestCertificateDecider,
+    SpanningForestCertificateProperty,
+    bfs_layer_certificate,
+)
 
 __all__ = [
     "ProperColouringDecider",
@@ -39,4 +49,10 @@ __all__ = [
     "HereditaryProperty",
     "induced_subgraphs",
     "is_hereditary_on",
+    "FractionalColouringDecider",
+    "FractionalColouringProperty",
+    "fractional_colouring",
+    "SpanningForestCertificateDecider",
+    "SpanningForestCertificateProperty",
+    "bfs_layer_certificate",
 ]

@@ -1,0 +1,118 @@
+"""Spanning-forest certificates: locally checkable BFS-layer labellings.
+
+Nelson and Yu (arXiv:1807.05135) prove lower bounds for spanning-forest
+computation whose difficulty separates dense from degenerate families —
+the matrix crosses this axis over exactly those families.  The *certificate*
+form used here is the classic locally checkable one: every node carries a
+non-negative integer layer; layer ``0`` marks a root, and every node at
+layer ``d > 0`` must see a neighbour at layer ``d - 1``.  A labelling
+satisfies the property iff following strictly decreasing layers from any
+node reaches a root, i.e. the "parent towards a smaller layer" edges form a
+spanning forest rooted at the layer-0 nodes.  The check is horizon-1: a
+node only compares its own layer with its neighbours' layers.
+
+The local condition really is equivalent to the global one: if some
+component had no root, its minimum-layer node would have no neighbour one
+layer below it and the local check would fail there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from ..decision.property import Property
+from ..graphs.generators import cycle_graph, path_graph, star_graph
+from ..graphs.labelled_graph import LabelledGraph
+from ..graphs.neighbourhood import Neighbourhood
+from ..local_model.algorithm import IdObliviousAlgorithm
+from ..local_model.outputs import NO, YES, Verdict
+
+__all__ = [
+    "SpanningForestCertificateProperty",
+    "SpanningForestCertificateDecider",
+    "bfs_layer_certificate",
+]
+
+
+class SpanningForestCertificateProperty(Property):
+    """The property "the labels are a valid BFS-layer spanning-forest certificate".
+
+    Labels must be non-negative ints; a node labelled ``d > 0`` must have a
+    neighbour labelled ``d - 1``; ``0`` marks a root.  Every labelled graph
+    admits a yes-labelling (BFS layers per component), so the property is a
+    certificate language rather than a structural restriction.
+    """
+
+    name = "spanning-forest-certificate"
+
+    def contains(self, graph: LabelledGraph) -> bool:
+        labels = graph.labels()
+        for v, label in labels.items():
+            if not isinstance(label, int) or label < 0:
+                return False
+            if label > 0 and not any(
+                labels[u] == label - 1 for u in graph.neighbours(v)
+            ):
+                return False
+        return True
+
+    def yes_instances(self) -> Iterator[LabelledGraph]:
+        yield bfs_layer_certificate(path_graph(5))
+        yield bfs_layer_certificate(cycle_graph(6))
+        yield bfs_layer_certificate(star_graph(4))
+
+    def no_instances(self) -> Iterator[LabelledGraph]:
+        yield cycle_graph(4).with_labels({v: 1 for v in cycle_graph(4).nodes()})
+        yield path_graph(3).with_labels({0: 0, 1: 2, 2: 0})
+
+
+class SpanningForestCertificateDecider(IdObliviousAlgorithm):
+    """Horizon-1 Id-oblivious decider for the BFS-layer certificate.
+
+    Reject iff my layer is malformed, or positive without a neighbour one
+    layer below me.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(radius=1, name="spanning-forest-certificate-decider")
+
+    def evaluate(self, view: Neighbourhood) -> Verdict:
+        mine = view.center_label()
+        if not isinstance(mine, int) or mine < 0:
+            return NO
+        if mine == 0:
+            return YES
+        for u in view.nodes_at_distance(1):
+            if view.label_of(u) == mine - 1:
+                return YES
+        return NO
+
+
+def _node_order(node) -> tuple:
+    """Total order over node names of mixed types (caterpillars use int
+    spine nodes and tuple leg nodes), so root choice and BFS neighbour
+    order stay deterministic on every family."""
+    return (type(node).__name__, repr(node))
+
+
+def bfs_layer_certificate(graph: LabelledGraph) -> LabelledGraph:
+    """Decorate ``graph`` with BFS layers from the first node of each component.
+
+    The root is the component's minimum under a type-aware total order, so
+    the labelling is deterministic even when node names mix types.  The
+    result always satisfies :class:`SpanningForestCertificateProperty`, on
+    connected and disconnected inputs alike.
+    """
+    layers = {}
+    for component in graph.connected_components():
+        root = min(component, key=_node_order)
+        layers[root] = 0
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            for u in sorted(graph.neighbours(v), key=_node_order):
+                if u not in layers:
+                    layers[u] = layers[v] + 1
+                    queue.append(u)
+    return graph.with_labels(layers)

@@ -47,7 +47,13 @@ from .matrix import (
     cell_seed,
     default_matrix,
     expand_json,
+    expand_ndjson,
     expand_records,
+)
+from .sampling import (
+    SamplePlan,
+    importance_sample,
+    stratified_sample,
 )
 
 __all__ = [
@@ -60,17 +66,21 @@ __all__ = [
     "bundled_families",
     "bundled_properties",
     "bundled_regimes",
+    "SamplePlan",
     "cell_seed",
     "default_matrix",
     "expand_json",
+    "expand_ndjson",
     "expand_records",
     "family_names",
     "get_family",
     "get_property_axis",
     "get_regime",
+    "importance_sample",
     "install_matrix",
     "property_names",
     "regime_names",
+    "stratified_sample",
 ]
 
 

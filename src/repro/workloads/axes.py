@@ -43,6 +43,16 @@ from ..properties.independent_set import (
     OUT_SET,
     greedy_mis,
 )
+from ..properties.forests import (
+    SpanningForestCertificateDecider,
+    SpanningForestCertificateProperty,
+    bfs_layer_certificate,
+)
+from ..properties.fractional import (
+    FractionalColouringDecider,
+    FractionalColouringProperty,
+    fractional_colouring,
+)
 from ..properties.matching import MaximalMatchingDecider, MaximalMatchingProperty, greedy_matching
 from ..properties.paths import RegularPathProperty
 from .families import PATH_SHAPED
@@ -80,7 +90,14 @@ class DeciderConstruction:
 
 @dataclass(frozen=True)
 class PropertyAxis:
-    """One value of the property axis: scoring property + instance decoration."""
+    """One value of the property axis: scoring property + instance decoration.
+
+    ``requires_tags`` restricts the axis to families carrying every listed
+    tag; ``only_families`` (when non-empty) whitelists family names
+    directly, for axes whose related-work grounding targets a specific
+    family contrast rather than a structural tag (e.g. the spanning-forest
+    certificates of Nelson-Yu on dense-vs-degenerate families).
+    """
 
     name: str
     title: str
@@ -89,9 +106,12 @@ class PropertyAxis:
     no_instance: Callable[[LabelledGraph], Optional[LabelledGraph]]
     constructions: Tuple[DeciderConstruction, ...]
     requires_tags: FrozenSet[str] = frozenset()
+    only_families: Tuple[str, ...] = ()
 
     def supports(self, family) -> bool:
         """Whether this property can decorate the family's topologies."""
+        if self.only_families and family.name not in self.only_families:
+            return False
         return self.requires_tags <= family.tags
 
 
@@ -202,6 +222,35 @@ def _hereditary_colouring() -> HereditaryProperty:
     return HereditaryProperty(ProperColouringProperty(None))
 
 
+def _fractional_property() -> FractionalColouringProperty:
+    return FractionalColouringProperty(b=2)
+
+
+def _fractional_decider(prop: Property, family: InstanceFamily) -> FractionalColouringDecider:
+    return FractionalColouringDecider(b=2)
+
+
+def _fractional_yes(graph: LabelledGraph) -> LabelledGraph:
+    return fractional_colouring(graph, b=2)
+
+
+def _fractional_no(graph: LabelledGraph) -> Optional[LabelledGraph]:
+    # Everyone shares the set (0, 1): improper iff the graph has an edge.
+    if graph.num_edges() == 0:
+        return None
+    return graph.with_labels({v: (0, 1) for v in graph.nodes()})
+
+
+def _forest_decider(prop: Property, family: InstanceFamily) -> SpanningForestCertificateDecider:
+    return SpanningForestCertificateDecider()
+
+
+def _forest_no(graph: LabelledGraph) -> LabelledGraph:
+    # All-ones layering: the minimum-layer node of each component has no
+    # neighbour one layer below, so the certificate is always invalid.
+    return graph.with_labels({v: 1 for v in graph.nodes()})
+
+
 # ---------------------------------------------------------------------- #
 # Identifier regimes
 # ---------------------------------------------------------------------- #
@@ -302,6 +351,32 @@ _PROPERTIES: Tuple[PropertyAxis, ...] = (
         yes_instance=greedy_colouring,
         no_instance=_monochromatic,
         constructions=(DeciderConstruction("honest", _colouring_decider),),
+    ),
+    PropertyAxis(
+        name="fractional-colouring",
+        title="2-set fractional colouring (Bousquet-Esperet-Pirot, arXiv:2012.01752)",
+        make_property=_fractional_property,
+        yes_instance=_fractional_yes,
+        no_instance=_fractional_no,
+        constructions=(DeciderConstruction("honest", _fractional_decider),),
+    ),
+    PropertyAxis(
+        name="spanning-forest",
+        title="BFS-layer spanning-forest certificates (Nelson-Yu, arXiv:1807.05135)",
+        make_property=SpanningForestCertificateProperty,
+        yes_instance=bfs_layer_certificate,
+        no_instance=_forest_no,
+        constructions=(DeciderConstruction("honest", _forest_decider),),
+        # The Nelson-Yu bounds contrast dense against sparse/degenerate
+        # families; cross the certificate axis over exactly that spectrum.
+        only_families=(
+            "complete",
+            "star",
+            "caterpillar",
+            "disjoint-cycles",
+            "single-node",
+            "single-edge",
+        ),
     ),
 )
 

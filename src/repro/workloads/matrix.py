@@ -1,4 +1,4 @@
-"""The workload matrix: cross the axes into materialised scenario cells.
+"""The workload matrix: a streaming cross of the axes into scenario cells.
 
 A :class:`WorkloadMatrix` crosses **graph families** x **properties** x
 **decider constructions** x **identifier regimes** into
@@ -11,20 +11,32 @@ the hand-written bundle.  Compatibility is declarative: a property axis
 names the family tags it requires, and trap constructions whitelist the
 families they are hunted on.
 
+**Streaming.**  :meth:`WorkloadMatrix.iter_cells` is the primitive: a lazy
+generator over the cross in a deterministic total order (families, then
+properties, then constructions, then regimes, then the variant ladder)
+with O(1) memory — no list of cells ever exists.  :meth:`WorkloadMatrix.cells`
+is a thin materialising wrapper kept for the small default matrix, and
+:meth:`WorkloadMatrix.count_cells` counts the cross without constructing a
+single spec.  The optional variant axes (``size_scales`` x
+``sample_counts`` x ``replicas``) multiply the base cross to arbitrary
+scale — past a million cells — while the default variant keeps every base
+cell's name, spec and digest byte-identical to the unparameterised matrix.
+
 Determinism: every cell derives its sampling/search seed from the matrix
 seed and its own name (SHA-256, platform independent), and the expansion
-(:func:`expand_records` / :func:`expand_json`) contains no timestamps, so
-the same matrix seed always produces a byte-identical expansion and the
-same per-cell spec digests — the property the resumable sweeps and the
-worker-count determinism tests are built on.
+(:func:`expand_records` / :func:`expand_json` / :func:`expand_ndjson`)
+contains no timestamps, so the same matrix seed always produces a
+byte-identical expansion and the same per-cell spec digests — the property
+the resumable sweeps and the worker-count determinism tests are built on.
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..campaign.spec import ScenarioSpec, ScenarioWorkload
 from ..decision.property import InstanceFamily
@@ -43,6 +55,7 @@ __all__ = [
     "default_matrix",
     "expand_records",
     "expand_json",
+    "expand_ndjson",
 ]
 
 #: Offset between the seeds of consecutive ladder rungs of one cell.
@@ -144,8 +157,33 @@ class WorkloadCell:
         ]
 
 
+#: The per-cell ``samples`` value of the unparameterised matrix; the
+#: variant whose knobs all sit at their defaults keeps the historical
+#: unsuffixed cell name (and therefore its digest).
+_DEFAULT_SAMPLES = 3
+_DEFAULT_VARIANT = (1, _DEFAULT_SAMPLES, 0)
+
+
 class WorkloadMatrix:
-    """Declarative cross of the four axes with per-axis include/exclude filters."""
+    """Declarative cross of the four axes with per-axis include/exclude filters.
+
+    The optional **variant axes** parameterise the cross into a size/sample
+    ladder without changing the base cells:
+
+    * ``size_scales`` — each scale ``s`` multiplies every family's size
+      ladder by ``s`` (suffix ``@s{s}...``);
+    * ``sample_counts`` — identifier assignments sampled per instance in
+      verify cells (suffix ``...k{samples}...``);
+    * ``replicas`` — seed replicas: same workload shape, independent
+      derived cell seeds (suffix ``...r{replica}``).
+
+    The variant ``(scale=1, samples=3, replica=0)`` — always present when
+    the knobs are left at their defaults — carries no suffix, so the
+    default matrix's cell names, specs and digests are byte-identical to
+    the historical unparameterised expansion.  The cross is only ever
+    *streamed* (:meth:`iter_cells`); with the variant axes it reaches
+    millions of cells without a list being materialised anywhere.
+    """
 
     def __init__(
         self,
@@ -153,11 +191,50 @@ class WorkloadMatrix:
         properties: Optional[Sequence[PropertyAxis]] = None,
         regimes: Optional[Sequence[IdRegime]] = None,
         seed: int = 0,
+        size_scales: Sequence[int] = (1,),
+        sample_counts: Sequence[int] = (_DEFAULT_SAMPLES,),
+        replicas: int = 1,
     ) -> None:
         self.families = list(families) if families is not None else bundled_families()
         self.properties = list(properties) if properties is not None else bundled_properties()
         self.regimes = list(regimes) if regimes is not None else bundled_regimes()
         self.seed = seed
+        self.size_scales = tuple(int(s) for s in size_scales)
+        self.sample_counts = tuple(int(k) for k in sample_counts)
+        self.replicas = int(replicas)
+        if not self.size_scales or any(s < 1 for s in self.size_scales):
+            raise ValueError(f"size_scales must be >= 1, got {size_scales!r}")
+        if not self.sample_counts or any(k < 1 for k in self.sample_counts):
+            raise ValueError(f"sample_counts must be >= 1, got {sample_counts!r}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas!r}")
+
+    # -- variants ---------------------------------------------------------- #
+
+    def variant_count(self) -> int:
+        """Number of variant cells each base (family x property x construction x regime) combo expands to."""
+        return len(self.size_scales) * len(self.sample_counts) * self.replicas
+
+    def _iter_variants(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(scale, samples, replica)`` triples in deterministic order."""
+        for scale in self.size_scales:
+            for samples in self.sample_counts:
+                for replica in range(self.replicas):
+                    yield scale, samples, replica
+
+    @staticmethod
+    def _cell_name(
+        family: WorkloadFamily,
+        axis: PropertyAxis,
+        construction: DeciderConstruction,
+        regime: IdRegime,
+        variant: Tuple[int, int, int] = _DEFAULT_VARIANT,
+    ) -> str:
+        base = f"mx:{family.name}:{axis.name}:{construction.name}:{regime.name}"
+        if variant == _DEFAULT_VARIANT:
+            return base
+        scale, samples, replica = variant
+        return f"{base}@s{scale}k{samples}r{replica}"
 
     def _spec_for(
         self,
@@ -166,7 +243,7 @@ class WorkloadMatrix:
         construction: DeciderConstruction,
         regime: IdRegime,
     ) -> ScenarioSpec:
-        name = f"mx:{family.name}:{axis.name}:{construction.name}:{regime.name}"
+        name = self._cell_name(family, axis, construction, regime)
         trap = construction.expect_defeat
         return ScenarioSpec(
             name=name,
@@ -190,24 +267,37 @@ class WorkloadMatrix:
             description=f"matrix cell: {family.name} x {axis.name} x {construction.name} x {regime.name}",
         )
 
-    def cells(
-        self,
-        families: Optional[Sequence[str]] = None,
-        properties: Optional[Sequence[str]] = None,
-        regimes: Optional[Sequence[str]] = None,
-        constructions: Optional[Sequence[str]] = None,
-        kinds: Optional[Sequence[str]] = None,
-        exclude_families: Sequence[str] = (),
-        names: Optional[Sequence[str]] = None,
-    ) -> List[WorkloadCell]:
-        """Expand the matrix into cells, applying the per-axis filters.
+    def _variant_spec(self, base: ScenarioSpec, family: WorkloadFamily, name: str, variant: Tuple[int, int, int]) -> ScenarioSpec:
+        """Derive one variant's spec from the combo's base spec (cheaply).
 
-        Every filter is an include-list of axis names (``None`` = no
-        filter); ``exclude_families`` removes families after inclusion and
-        ``names`` restricts to exact cell names (the CLI's positional
-        arguments).  Unknown names in any filter raise ``KeyError`` so a
-        typo cannot silently produce an empty sweep.
+        A shallow copy plus five field writes instead of
+        :func:`dataclasses.replace` (which re-runs ``__init__``): on
+        million-cell crosses the constructor is the dominant per-cell cost.
         """
+        if variant == _DEFAULT_VARIANT:
+            return base
+        scale, samples, _replica = variant
+        spec = copy.copy(base)
+        write = object.__setattr__  # ScenarioSpec is frozen
+        write(spec, "name", name)
+        write(spec, "seed", cell_seed(self.seed, name))
+        if scale != 1:
+            write(spec, "sizes", tuple(size * scale for size in family.sizes))
+            write(spec, "quick_sizes", tuple(size * scale for size in family.quick_sizes))
+        write(spec, "samples", samples)
+        return spec
+
+    # -- streaming expansion ----------------------------------------------- #
+
+    def _validate_filters(
+        self,
+        families: Optional[Sequence[str]],
+        properties: Optional[Sequence[str]],
+        regimes: Optional[Sequence[str]],
+        constructions: Optional[Sequence[str]],
+        kinds: Optional[Sequence[str]],
+        exclude_families: Sequence[str],
+    ) -> None:
         self._check_filter(families, {f.name for f in self.families}, "family")
         self._check_filter(exclude_families, {f.name for f in self.families}, "family")
         self._check_filter(properties, {p.name for p in self.properties}, "property")
@@ -217,7 +307,18 @@ class WorkloadMatrix:
             {c.name for p in self.properties for c in p.constructions},
             "construction",
         )
-        out: List[WorkloadCell] = []
+        self._check_filter(kinds, {r.kind for r in self.regimes}, "regime kind")
+
+    def _iter_combos(
+        self,
+        families: Optional[Sequence[str]] = None,
+        properties: Optional[Sequence[str]] = None,
+        regimes: Optional[Sequence[str]] = None,
+        constructions: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        exclude_families: Sequence[str] = (),
+    ) -> Iterator[Tuple[WorkloadFamily, PropertyAxis, DeciderConstruction, IdRegime]]:
+        """Yield the filtered base (family, axis, construction, regime) combos."""
         for family in self.families:
             if families is not None and family.name not in families:
                 continue
@@ -243,33 +344,148 @@ class WorkloadMatrix:
                                 continue
                         if kinds is not None and regime.kind not in kinds:
                             continue
-                        cell = WorkloadCell(
-                            family=family,
-                            axis=axis,
-                            construction=construction,
-                            regime=regime,
-                            spec=self._spec_for(family, axis, construction, regime),
-                        )
-                        if names is not None and cell.name not in names:
-                            continue
-                        out.append(cell)
-        if names is not None:
-            missing = sorted(set(names) - {cell.name for cell in out})
-            if missing:
-                # Distinguish a typo from a real cell the other filters
-                # excluded — "unknown" would be a misleading diagnosis.
-                every_name = {cell.name for cell in self.cells()}
-                unknown = sorted(set(missing) - every_name)
-                if unknown:
-                    raise KeyError(f"unknown matrix cell(s) {unknown}; see --list")
-                raise KeyError(
-                    f"matrix cell(s) {missing} exist but are excluded by the active filters"
+                        yield family, axis, construction, regime
+
+    def iter_cells(
+        self,
+        families: Optional[Sequence[str]] = None,
+        properties: Optional[Sequence[str]] = None,
+        regimes: Optional[Sequence[str]] = None,
+        constructions: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        exclude_families: Sequence[str] = (),
+        names: Optional[Sequence[str]] = None,
+    ) -> Iterator[WorkloadCell]:
+        """Stream the matrix cells lazily, applying the per-axis filters.
+
+        Every filter is an include-list of axis names (``None`` = no
+        filter); ``exclude_families`` removes families after inclusion and
+        ``names`` restricts to exact cell names (the CLI's positional
+        arguments).  Unknown names in any filter raise ``KeyError`` so a
+        typo cannot silently produce an empty sweep — filter validation
+        happens eagerly (before the first cell is yielded); ``names`` that
+        match nothing raise when the stream is exhausted.
+
+        The order is a deterministic total order — families, properties,
+        constructions, regimes, then the variant ladder (size scales,
+        sample counts, replicas) — and memory stays O(1) in the number of
+        cells: specs are constructed one at a time and never retained.
+        """
+        self._validate_filters(families, properties, regimes, constructions, kinds, exclude_families)
+        combos = self._iter_combos(families, properties, regimes, constructions, kinds, exclude_families)
+        return self._generate_cells(combos, names)
+
+    def _generate_cells(self, combos, names: Optional[Sequence[str]]) -> Iterator[WorkloadCell]:
+        wanted = set(names) if names is not None else None
+        seen: set = set()
+        for family, axis, construction, regime in combos:
+            base: Optional[ScenarioSpec] = None
+            for variant in self._iter_variants():
+                name = self._cell_name(family, axis, construction, regime, variant)
+                if wanted is not None and name not in wanted:
+                    continue
+                if base is None:
+                    base = self._spec_for(family, axis, construction, regime)
+                spec = self._variant_spec(base, family, name, variant)
+                if wanted is not None:
+                    seen.add(name)
+                yield WorkloadCell(
+                    family=family, axis=axis, construction=construction, regime=regime, spec=spec
                 )
-        return out
+        if wanted is not None:
+            missing = wanted - seen
+            if missing:
+                self._raise_for_missing(missing)
+
+    def _raise_for_missing(self, missing: set) -> None:
+        """Diagnose missing ``names``: a typo vs a cell the filters excluded."""
+        # Stream the unfiltered name universe instead of materialising it —
+        # with the variant axes engaged it can span millions of names.
+        unknown = set(missing)
+        for name in self.iter_names():
+            unknown.discard(name)
+            if not unknown:
+                break
+        if unknown:
+            raise KeyError(f"unknown matrix cell(s) {sorted(unknown)}; see --list")
+        raise KeyError(
+            f"matrix cell(s) {sorted(missing)} exist but are excluded by the active filters"
+        )
+
+    def iter_names(self) -> Iterator[str]:
+        """Stream every cell name of the unfiltered cross without building specs."""
+        for family, axis, construction, regime in self._iter_combos():
+            for variant in self._iter_variants():
+                yield self._cell_name(family, axis, construction, regime, variant)
+
+    def cells(
+        self,
+        families: Optional[Sequence[str]] = None,
+        properties: Optional[Sequence[str]] = None,
+        regimes: Optional[Sequence[str]] = None,
+        constructions: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        exclude_families: Sequence[str] = (),
+        names: Optional[Sequence[str]] = None,
+    ) -> List[WorkloadCell]:
+        """Materialise :meth:`iter_cells` into a list (small matrices only).
+
+        A thin wrapper kept for the default-sized matrix and for callers
+        that genuinely need random access; million-cell crosses should
+        stay on the iterator.
+        """
+        return list(
+            self.iter_cells(
+                families=families,
+                properties=properties,
+                regimes=regimes,
+                constructions=constructions,
+                kinds=kinds,
+                exclude_families=exclude_families,
+                names=names,
+            )
+        )
+
+    def count_cells(
+        self,
+        families: Optional[Sequence[str]] = None,
+        properties: Optional[Sequence[str]] = None,
+        regimes: Optional[Sequence[str]] = None,
+        constructions: Optional[Sequence[str]] = None,
+        kinds: Optional[Sequence[str]] = None,
+        exclude_families: Sequence[str] = (),
+        names: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Count the cells the filters admit without constructing any spec.
+
+        Used by ``--list --count-only`` as a fast sanity check on
+        million-cell crosses: the base combos are enumerated (hundreds at
+        most) and multiplied by the variant-ladder size.
+        """
+        self._validate_filters(families, properties, regimes, constructions, kinds, exclude_families)
+        combos = self._iter_combos(families, properties, regimes, constructions, kinds, exclude_families)
+        if names is None:
+            return sum(self.variant_count() for _ in combos)
+        wanted, count = set(names), 0
+        seen: set = set()
+        for family, axis, construction, regime in combos:
+            for variant in self._iter_variants():
+                name = self._cell_name(family, axis, construction, regime, variant)
+                if name in wanted:
+                    seen.add(name)
+                    count += 1
+        missing = wanted - seen
+        if missing:
+            self._raise_for_missing(missing)
+        return count
 
     def scenarios(self, **filters) -> List[ScenarioSpec]:
-        """The expanded cells as plain campaign scenario specs."""
-        return [cell.spec for cell in self.cells(**filters)]
+        """The expanded cells as plain campaign scenario specs (materialised)."""
+        return [cell.spec for cell in self.iter_cells(**filters)]
+
+    def iter_scenarios(self, **filters) -> Iterator[ScenarioSpec]:
+        """Stream the expanded cells as plain campaign scenario specs."""
+        return (cell.spec for cell in self.iter_cells(**filters))
 
     @staticmethod
     def _check_filter(chosen: Optional[Sequence[str]], known: set, axis: str) -> None:
@@ -283,11 +499,28 @@ def default_matrix(seed: int = 0) -> WorkloadMatrix:
     return WorkloadMatrix(seed=seed)
 
 
-def expand_records(cells: Sequence[WorkloadCell]) -> List[Dict[str, object]]:
-    """JSON-ready records for a list of cells (the ``--expand`` payload)."""
+def expand_records(cells: Iterable[WorkloadCell]) -> List[Dict[str, object]]:
+    """JSON-ready records for a collection of cells (the ``--expand`` payload)."""
     return [cell.as_record() for cell in cells]
 
 
-def expand_json(cells: Sequence[WorkloadCell]) -> str:
-    """Deterministic JSON expansion: same matrix seed, byte-identical output."""
+def expand_json(cells: Iterable[WorkloadCell]) -> str:
+    """Deterministic JSON expansion: same matrix seed, byte-identical output.
+
+    Materialises the whole payload — intended for the default-sized matrix
+    where the array form (and its byte-identity across runs) matters.  Use
+    :func:`expand_ndjson` to stream arbitrarily large crosses.
+    """
     return json.dumps(expand_records(cells), indent=2, sort_keys=True) + "\n"
+
+
+def expand_ndjson(cells: Iterable[WorkloadCell]) -> Iterator[str]:
+    """Stream the expansion as NDJSON: one compact JSON line per cell.
+
+    Consumes ``cells`` lazily and holds only one record at a time, so a
+    million-cell cross expands in O(1) memory; each line is
+    ``json.dumps(record, sort_keys=True)`` and therefore as deterministic
+    as the array form.
+    """
+    for cell in cells:
+        yield json.dumps(cell.as_record(), sort_keys=True)

@@ -7,7 +7,9 @@ count, degree bounds, connectivity, generator-seed stability), matrix
 filtering, campaign/adversary registration, store replay and the CLI.
 """
 
+import itertools
 import json
+import tracemalloc
 
 import pytest
 
@@ -32,10 +34,12 @@ from repro.workloads import (
     bundled_families,
     default_matrix,
     expand_json,
+    expand_ndjson,
     get_family,
     install_matrix,
 )
 from repro.workloads.cli import main as workloads_main
+from repro.workloads.matrix import WorkloadMatrix
 
 
 # ---------------------------------------------------------------------- #
@@ -146,7 +150,8 @@ class TestMatrixExpansion:
         cells = default_matrix().cells()
         assert {c.family.name for c in cells} == {f.name for f in bundled_families()}
         assert {c.axis.name for c in cells} == {
-            "colouring", "mis", "matching", "paths", "hereditary-colouring"
+            "colouring", "mis", "matching", "paths", "hereditary-colouring",
+            "fractional-colouring", "spanning-forest",
         }
         assert {c.regime.name for c in cells} == {"one-based", "bounded", "adversarial"}
         assert {c.construction.name for c in cells} == {
@@ -183,6 +188,95 @@ class TestMatrixExpansion:
             matrix.cells(families=["cycle"], names=["mx:grid:colouring:honest:one-based"])
         with pytest.raises(KeyError):
             get_family("no-such-family")
+
+
+# ---------------------------------------------------------------------- #
+# Streaming expansion and variant ladders
+# ---------------------------------------------------------------------- #
+
+
+class TestStreamingMatrix:
+    def test_iter_cells_matches_cells_exactly(self):
+        matrix = default_matrix(seed=3)
+        streamed = [(c.name, c.spec.seed, c.digest(True)) for c in matrix.iter_cells()]
+        materialised = [(c.name, c.spec.seed, c.digest(True)) for c in matrix.cells()]
+        assert streamed == materialised
+
+    def test_default_cells_keep_unsuffixed_names(self):
+        assert all("@" not in cell.name for cell in default_matrix().cells())
+
+    def test_kinds_typo_raises_instead_of_silently_empty_sweep(self):
+        # Regression: the kinds filter used to bypass _check_filter, so a
+        # typo like kinds=["serch"] produced an empty sweep without error.
+        with pytest.raises(KeyError, match="regime kind"):
+            default_matrix().cells(kinds=["serch"])
+        with pytest.raises(KeyError, match="regime kind"):
+            # Validation is eager: the iterator constructor itself raises.
+            default_matrix().iter_cells(kinds=["serch"])
+        with pytest.raises(KeyError, match="regime kind"):
+            default_matrix().count_cells(kinds=["serch"])
+
+    def test_million_cell_cross_counts_instantly_and_streams_bounded(self):
+        matrix = WorkloadMatrix(
+            seed=0, size_scales=(1, 2), sample_counts=(2, 3), replicas=1250
+        )
+        # Counting never builds a spec: instant even past a million cells.
+        total = matrix.count_cells()
+        assert total >= 1_000_000
+        assert total == 212 * matrix.variant_count()
+        # Generator consumption: pulling a prefix allocates O(prefix), not
+        # O(total) — the regression guard for iter_cells() materialising.
+        stream = matrix.iter_cells()
+        tracemalloc.start()
+        consumed = sum(1 for _ in itertools.islice(stream, 25_000))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert consumed == 25_000
+        assert peak < 8 * 1024 * 1024, f"streaming 25k cells peaked at {peak} bytes"
+
+    def test_expand_ndjson_is_lazy_and_line_parseable(self):
+        matrix = WorkloadMatrix(seed=0, replicas=5000)
+        pulled = 0
+
+        def tracked():
+            nonlocal pulled
+            for cell in matrix.iter_cells(families=["cycle"]):
+                pulled += 1
+                yield cell
+
+        lines = list(itertools.islice(expand_ndjson(tracked()), 5))
+        assert len(lines) == 5
+        assert pulled <= 6, "expand_ndjson must not read ahead of its consumer"
+        records = [json.loads(line) for line in lines]
+        assert all(record["family"] == "cycle" for record in records)
+        assert all("digest_full" in record for record in records)
+
+    def test_variant_ladder_keeps_base_digests_byte_identical(self):
+        slice_filters = dict(families=["cycle"], properties=["mis"])
+        base = {
+            c.name: c.digest(True)
+            for c in default_matrix(seed=4).cells(**slice_filters)
+        }
+        laddered = WorkloadMatrix(seed=4, size_scales=(1, 2), sample_counts=(3, 5), replicas=2)
+        cells = laddered.cells(**slice_filters)
+        names = [c.name for c in cells]
+        assert len(names) == len(set(names)), "variant names must be unique"
+        unsuffixed = {c.name: c.digest(True) for c in cells if "@" not in c.name}
+        assert unsuffixed == base, "default-variant cells must keep their digests"
+        scaled = [c for c in cells if c.name.endswith("@s2k5r1")]
+        assert scaled, "non-default variants must carry the @s..k..r.. suffix"
+        cell = scaled[0]
+        assert cell.spec.samples == 5
+        assert cell.spec.sizes == tuple(2 * s for s in get_family("cycle").sizes)
+        assert cell.spec.seed != base and cell.digest(True) not in base.values()
+
+    def test_count_cells_respects_filters_and_names(self):
+        matrix = default_matrix()
+        assert matrix.count_cells() == len(matrix.cells())
+        assert matrix.count_cells(kinds=["verify"]) == len(matrix.cells(kinds=["verify"]))
+        assert matrix.count_cells(names=["mx:cycle:mis:honest:bounded"]) == 1
+        with pytest.raises(KeyError, match="unknown matrix cell"):
+            matrix.count_cells(names=["mx:no:such:cell:name"])
 
 
 # ---------------------------------------------------------------------- #
@@ -338,3 +432,26 @@ class TestWorkloadsCli:
         with pytest.raises(SystemExit) as excinfo:
             workloads_main(["--list", "--family", "nope"])
         assert excinfo.value.code == 2
+
+    def test_list_count_only_counts_without_building_specs(self, capsys):
+        assert workloads_main(["--list", "--count-only"]) == 0
+        base = int(capsys.readouterr().out.strip())
+        assert base >= 40
+        assert (
+            workloads_main(
+                [
+                    "--list", "--count-only",
+                    "--size-scale", "1", "--size-scale", "2",
+                    "--sample-count", "2", "--sample-count", "3",
+                    "--replicas", "1250",
+                ]
+            )
+            == 0
+        )
+        assert int(capsys.readouterr().out.strip()) == base * 2 * 2 * 1250
+
+    def test_expand_ndjson_with_max_cells_streams_a_prefix(self, capsys):
+        assert workloads_main(["--expand", "--ndjson", "--max-cells", "7"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 7
+        assert all(json.loads(line)["name"].startswith("mx:") for line in lines)
