@@ -33,6 +33,7 @@ from ..decision.property import InstanceFamily, Property
 from ..engine.base import EngineLike, resolve_engine, store_counters, store_job_split
 from ..graphs.identifiers import IdAssignment, IdentifierSpace
 from ..graphs.labelled_graph import LabelledGraph
+from ..obs import trace
 from .shrink import MinimalCounterExample, shrink_counterexample
 from .strategies import StrategyLike, resolve_strategy
 
@@ -206,30 +207,33 @@ def hunt_instance(
             hunt.exhausted = True
             break
         hunt.batches += 1
-        outputs_list = engine.run_many(decider, [(graph, ids) for ids in batch])
-        scored: List[Tuple[IdAssignment, float]] = []
-        for ids, outputs in zip(batch, outputs_list):
-            hunt.executions += 1
-            outcome = _outcome_from_outputs(outputs)
-            if outcome.accepted != expected:
-                hunt.counter_example = CounterExample(
-                    graph=graph,
-                    ids=ids,
-                    expected=expected,
-                    accepted=outcome.accepted,
-                    family=family_name,
-                    rejecting_nodes=outcome.rejecting_nodes,
-                )
-                hunt.best_score = 1.0
-                return hunt
-            # Defeat-ward fraction: nodes already outputting the verdict
-            # that would flip the global answer against `expected`.
-            if expected:
-                score = len(outcome.rejecting_nodes) / n if n else 0.0
-            else:
-                score = 1.0 - (len(outcome.rejecting_nodes) / n if n else 0.0)
-            scored.append((ids, score))
-            hunt.best_score = max(hunt.best_score, score)
+        with trace.span("adversary.batch", batch=hunt.batches, size=len(batch)) as sp:
+            outputs_list = engine.run_many(decider, [(graph, ids) for ids in batch])
+            scored: List[Tuple[IdAssignment, float]] = []
+            for ids, outputs in zip(batch, outputs_list):
+                hunt.executions += 1
+                outcome = _outcome_from_outputs(outputs)
+                if outcome.accepted != expected:
+                    hunt.counter_example = CounterExample(
+                        graph=graph,
+                        ids=ids,
+                        expected=expected,
+                        accepted=outcome.accepted,
+                        family=family_name,
+                        rejecting_nodes=outcome.rejecting_nodes,
+                    )
+                    hunt.best_score = 1.0
+                    sp.add(defeated=True)
+                    return hunt
+                # Defeat-ward fraction: nodes already outputting the verdict
+                # that would flip the global answer against `expected`.
+                if expected:
+                    score = len(outcome.rejecting_nodes) / n if n else 0.0
+                else:
+                    score = 1.0 - (len(outcome.rejecting_nodes) / n if n else 0.0)
+                scored.append((ids, score))
+                hunt.best_score = max(hunt.best_score, score)
+            sp.add(best_score=hunt.best_score)
         walker.observe(scored)
     return hunt
 

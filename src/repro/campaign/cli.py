@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ..analysis.reporting import format_table
+from ..obs import trace
 from .runner import (
     DEFAULT_REPORT_PATH,
     replay_summary,
@@ -145,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-report", action="store_true", help="skip writing the JSON report file"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL span trace of the whole campaign to "
+        "PATH (inspect it with `python -m repro.obs report PATH`)",
+    )
     return parser
 
 
@@ -177,61 +185,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--min-replayed requires --store")
     if args.quick and args.full:
         parser.error("--quick and --full are mutually exclusive")
-    if args.resume is not None:
-        resume_path = Path(args.resume)
-        if not resume_path.exists():
-            parser.error(f"--resume report {resume_path} does not exist")
-        # quick: explicit flags win; otherwise inherit the report's mode so
-        # the merged report stays comparable with itself.
-        quick = True if args.quick else (False if args.full else None)
-        report, reused = resume_campaign(
-            resume_path,
-            scenarios=names,
-            engine=args.engine,
-            workers=args.workers,
-            quick=quick,
-            store=args.store,
-            seed=args.seed,
-        )
-        print(f"resumed from {resume_path}: {reused} scenario(s) reused, "
-              f"{len(names) - reused} re-run")
-    else:
-        report = run_campaign(
-            names,
-            engine=args.engine,
-            workers=args.workers,
-            quick=args.quick,
-            store=args.store,
-            seed=args.seed,
-        )
-    print(report.summary_table())
-    for result in report.results:
-        first = result.details.get("first_counterexample")
-        if first:
-            print(
-                f"  {result.name}: first counter-example {first['kind']} on "
-                f"n={first['num_nodes']} under assignment {first['assignment']}"
+    if args.resume is not None and not Path(args.resume).exists():
+        parser.error(f"--resume report {args.resume} does not exist")
+    if args.trace is not None:
+        trace.enable(args.trace)
+    try:
+        if args.resume is not None:
+            resume_path = Path(args.resume)
+            # quick: explicit flags win; otherwise inherit the report's mode so
+            # the merged report stays comparable with itself.
+            quick = True if args.quick else (False if args.full else None)
+            report, reused = resume_campaign(
+                resume_path,
+                scenarios=names,
+                engine=args.engine,
+                workers=args.workers,
+                quick=quick,
+                store=args.store,
+                seed=args.seed,
             )
-    if not args.no_report:
-        default = Path(args.resume) if args.resume is not None else None
-        path = write_report(report, args.output if args.output is not None else default)
-        print(f"report written to {path}")
-    ok = report.ok
-    if args.min_replayed is not None:
-        replayed, total, fraction, resumed = replay_summary(report)
-        print(
-            f"store replay: {replayed}/{total} jobs "
-            f"({fraction:.1%}, floor {args.min_replayed:.1%}"
-            + (f"; {resumed} resumed scenario(s) excluded)" if resumed else ")")
-        )
-        if fraction < args.min_replayed:
-            print(
-                f"FAIL: only {fraction:.1%} of jobs replayed from the store "
-                f"(floor {args.min_replayed:.1%})"
+            print(f"resumed from {resume_path}: {reused} scenario(s) reused, "
+                  f"{len(names) - reused} re-run")
+        else:
+            report = run_campaign(
+                names,
+                engine=args.engine,
+                workers=args.workers,
+                quick=args.quick,
+                store=args.store,
+                seed=args.seed,
             )
-            ok = False
-    print(f"campaign {'OK' if ok else 'FAILED'}")
-    return 0 if ok else 1
+        print(report.summary_table())
+        for result in report.results:
+            first = result.details.get("first_counterexample")
+            if first:
+                print(
+                    f"  {result.name}: first counter-example {first['kind']} on "
+                    f"n={first['num_nodes']} under assignment {first['assignment']}"
+                )
+        if not args.no_report:
+            default = Path(args.resume) if args.resume is not None else None
+            path = write_report(report, args.output if args.output is not None else default)
+            print(f"report written to {path}")
+        ok = report.ok
+        if args.min_replayed is not None:
+            replayed, total, fraction, resumed = replay_summary(report)
+            print(
+                f"store replay: {replayed}/{total} jobs "
+                f"({fraction:.1%}, floor {args.min_replayed:.1%}"
+                + (f"; {resumed} resumed scenario(s) excluded)" if resumed else ")")
+            )
+            if fraction < args.min_replayed:
+                print(
+                    f"FAIL: only {fraction:.1%} of jobs replayed from the store "
+                    f"(floor {args.min_replayed:.1%})"
+                )
+                ok = False
+        print(f"campaign {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+    finally:
+        if args.trace is not None:
+            trace.disable()
+            print(f"trace written to {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m

@@ -53,6 +53,7 @@ from ..decision.randomized import evaluate_pq_decider
 from ..engine.base import EngineLike, ExecutionEngine, resolve_engine
 from ..engine.parallel import ParallelEngine
 from ..engine.persistent import VerdictStore
+from ..obs import trace
 from .scenarios import bundled_scenarios, get_scenario
 from .spec import CampaignReport, ScenarioResult, ScenarioSpec
 
@@ -138,79 +139,101 @@ def run_scenario(
 
 
 def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioResult:
+    with trace.span("campaign.scenario", name=spec.name, kind=spec.kind) as scenario_span:
+        result = _execute_phases(spec, eng, quick)
+        scenario_span.add(
+            engine=result.engine,
+            jobs_replayed=result.jobs_replayed,
+            jobs_computed=result.jobs_computed,
+            ok=result.ok,
+        )
+    return result
+
+
+def _execute_phases(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioResult:
     eng.reset_stats()
-    sizes = spec.ladder(quick)
-    workload = spec.build(spec, sizes)
+    phase: Dict[str, float] = {}
+    build_start = time.perf_counter()
+    with trace.span("campaign.build", name=spec.name):
+        sizes = spec.ladder(quick)
+        workload = spec.build(spec, sizes)
+    phase["build"] = time.perf_counter() - build_start
+    verify_span = trace.span("campaign.verify", name=spec.name, kind=spec.kind)
+    verify_span.__enter__()
     start = time.perf_counter()
-    if spec.kind == "verify":
-        report = verify_decider(
-            workload.decider,
-            workload.prop,
-            family=workload.family,
-            id_space=workload.id_space,
-            samples=spec.samples,
-            seed=spec.seed,
-            assignments_factory=workload.assignments_factory,
-            engine=eng,
-        )
-        seconds = time.perf_counter() - start
-        observed = report.correct
-        instances = report.instances_checked
-        sweeps = report.assignments_checked
-        computed, replayed = report.jobs_computed, report.jobs_replayed
-        summary = report.summary()
-        details = report.as_dict()
-    elif spec.kind == "estimate":
-        trials = spec.trial_count(quick)
-        report = evaluate_pq_decider(
-            workload.decider,
-            workload.family,
-            p=workload.target_p,
-            q=workload.target_q,
-            trials=trials,
-            seed=spec.seed,
-            ids_factory=workload.ids_factory,
-            engine=eng,
-        )
-        seconds = time.perf_counter() - start
-        observed = report.satisfied
-        instances = len(workload.family)
-        sweeps = trials * instances
-        computed, replayed = report.trials_computed, report.trials_replayed
-        summary = report.summary()
-        details = {
-            "target_p": workload.target_p,
-            "target_q": workload.target_q,
-            "trials_per_instance": trials,
-            "worst_yes_acceptance": report.worst_yes_acceptance,
-            "worst_no_rejection": report.worst_no_rejection,
-            "trials_computed": computed,
-            "trials_replayed": replayed,
-        }
-    elif spec.kind == "search":
-        outcome = find_counterexample(
-            workload.decider,
-            prop=workload.prop,
-            family=workload.family,
-            strategy=spec.strategy,
-            id_space=workload.id_space,
-            pool_factory=workload.pool_factory,
-            max_evaluations=spec.search_budget(quick),
-            batch_size=spec.batch_size,
-            seed=spec.seed,
-            engine=eng,
-        )
-        seconds = time.perf_counter() - start
-        # A search scenario "observes correct" when no defeat was found;
-        # the bundled traps expect the hunt to succeed (expect_correct=False).
-        observed = not outcome.found
-        instances = outcome.instances_tried
-        sweeps = outcome.executions
-        computed, replayed = outcome.jobs_computed, outcome.jobs_replayed
-        summary = outcome.summary()
-        details = outcome.as_dict()
-    else:
-        raise ValueError(f"unknown scenario kind {spec.kind!r} in {spec.name!r}")
+    try:
+        if spec.kind == "verify":
+            report = verify_decider(
+                workload.decider,
+                workload.prop,
+                family=workload.family,
+                id_space=workload.id_space,
+                samples=spec.samples,
+                seed=spec.seed,
+                assignments_factory=workload.assignments_factory,
+                engine=eng,
+            )
+            seconds = time.perf_counter() - start
+            observed = report.correct
+            instances = report.instances_checked
+            sweeps = report.assignments_checked
+            computed, replayed = report.jobs_computed, report.jobs_replayed
+            summary = report.summary()
+            details = report.as_dict()
+        elif spec.kind == "estimate":
+            trials = spec.trial_count(quick)
+            report = evaluate_pq_decider(
+                workload.decider,
+                workload.family,
+                p=workload.target_p,
+                q=workload.target_q,
+                trials=trials,
+                seed=spec.seed,
+                ids_factory=workload.ids_factory,
+                engine=eng,
+            )
+            seconds = time.perf_counter() - start
+            observed = report.satisfied
+            instances = len(workload.family)
+            sweeps = trials * instances
+            computed, replayed = report.trials_computed, report.trials_replayed
+            summary = report.summary()
+            details = {
+                "target_p": workload.target_p,
+                "target_q": workload.target_q,
+                "trials_per_instance": trials,
+                "worst_yes_acceptance": report.worst_yes_acceptance,
+                "worst_no_rejection": report.worst_no_rejection,
+                "trials_computed": computed,
+                "trials_replayed": replayed,
+            }
+        elif spec.kind == "search":
+            outcome = find_counterexample(
+                workload.decider,
+                prop=workload.prop,
+                family=workload.family,
+                strategy=spec.strategy,
+                id_space=workload.id_space,
+                pool_factory=workload.pool_factory,
+                max_evaluations=spec.search_budget(quick),
+                batch_size=spec.batch_size,
+                seed=spec.seed,
+                engine=eng,
+            )
+            seconds = time.perf_counter() - start
+            # A search scenario "observes correct" when no defeat was found;
+            # the bundled traps expect the hunt to succeed (expect_correct=False).
+            observed = not outcome.found
+            instances = outcome.instances_tried
+            sweeps = outcome.executions
+            computed, replayed = outcome.jobs_computed, outcome.jobs_replayed
+            summary = outcome.summary()
+            details = outcome.as_dict()
+        else:
+            raise ValueError(f"unknown scenario kind {spec.kind!r} in {spec.name!r}")
+    finally:
+        phase["verify"] = time.perf_counter() - start
+        verify_span.__exit__(*sys.exc_info())
     return ScenarioResult(
         name=spec.name,
         section=spec.section,
@@ -227,6 +250,7 @@ def _execute(spec: ScenarioSpec, eng: ExecutionEngine, quick: bool) -> ScenarioR
         spec_digest=spec.digest(quick),
         jobs_computed=computed,
         jobs_replayed=replayed,
+        phase_seconds=phase,
     )
 
 
@@ -259,10 +283,18 @@ def load_result_log(path: Union[str, Path]) -> Dict[str, ScenarioResult]:
 
 
 def _append_result(handle, result: ScenarioResult) -> None:
-    """Append one result line to the open log and push it to disk."""
-    handle.write(json.dumps(result.as_dict(), sort_keys=True) + "\n")
-    handle.flush()
-    os.fsync(handle.fileno())
+    """Append one result line to the open log and push it to disk.
+
+    The fsynced append is timed into ``result.phase_seconds["persist"]``
+    (the logged line itself cannot contain it — the result is serialised
+    before the write finishes — but the final report does).
+    """
+    started = time.perf_counter()
+    with trace.span("campaign.log_append", name=result.name):
+        handle.write(json.dumps(result.as_dict(), sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    result.phase_seconds["persist"] = time.perf_counter() - started
 
 
 def _open_log(path: Union[str, Path]):
@@ -339,29 +371,31 @@ def run_campaign(
     if log_path is not None:
         logged = load_result_log(log_path)
         log_handle = _open_log(log_path)
-    try:
-        for spec in _iter_specs(scenarios, seed):
-            old = logged.get(spec.name)
-            if (
-                old is not None
-                and old.spec_digest
-                and old.spec_digest == spec.digest(quick)
-                and old.summary
-            ):
-                old.resumed = True
-                report.results.append(old)
-                continue
-            result = run_scenario(
-                spec, engine=engine, workers=workers, quick=quick, store=verdict_store
-            )
-            report.results.append(result)
+    with trace.span("campaign.run", name=name, quick=quick) as sp:
+        try:
+            for spec in _iter_specs(scenarios, seed):
+                old = logged.get(spec.name)
+                if (
+                    old is not None
+                    and old.spec_digest
+                    and old.spec_digest == spec.digest(quick)
+                    and old.summary
+                ):
+                    old.resumed = True
+                    report.results.append(old)
+                    continue
+                result = run_scenario(
+                    spec, engine=engine, workers=workers, quick=quick, store=verdict_store
+                )
+                report.results.append(result)
+                if log_handle is not None:
+                    _append_result(log_handle, result)
+        finally:
             if log_handle is not None:
-                _append_result(log_handle, result)
-    finally:
-        if log_handle is not None:
-            log_handle.close()
-        if owns_store and verdict_store is not None:
-            verdict_store.close()
+                log_handle.close()
+            if owns_store and verdict_store is not None:
+                verdict_store.close()
+            sp.add(scenarios=len(report.results))
     return report
 
 
@@ -408,39 +442,41 @@ def resume_campaign(
         log_handle = _open_log(log_path)
     reused = 0
     requested: set = set()
-    try:
-        for spec in _iter_specs(scenarios, seed):
-            requested.add(spec.name)
-            # Reuse only when the recorded digest matches the current spec
-            # AND the record actually carries a verdict (a summary written
-            # by a completed run); anything else is stale and re-runs.  The
-            # prior report is consulted first, then the incremental log of
-            # an interrupted attempt.
-            old = by_name.get(spec.name)
-            if old is None or not (
-                old.spec_digest and old.spec_digest == spec.digest(quick) and old.summary
-            ):
-                old = logged.get(spec.name)
-                if old is not None and not (
+    with trace.span("campaign.run", name=previous.name, quick=quick, resume=True) as sp:
+        try:
+            for spec in _iter_specs(scenarios, seed):
+                requested.add(spec.name)
+                # Reuse only when the recorded digest matches the current spec
+                # AND the record actually carries a verdict (a summary written
+                # by a completed run); anything else is stale and re-runs.  The
+                # prior report is consulted first, then the incremental log of
+                # an interrupted attempt.
+                old = by_name.get(spec.name)
+                if old is None or not (
                     old.spec_digest and old.spec_digest == spec.digest(quick) and old.summary
                 ):
-                    old = None
-            if old is not None:
-                old.resumed = True
-                merged.results.append(old)
-                reused += 1
-                continue
-            result = run_scenario(
-                spec, engine=engine, workers=workers, quick=quick, store=verdict_store
-            )
-            merged.results.append(result)
+                    old = logged.get(spec.name)
+                    if old is not None and not (
+                        old.spec_digest and old.spec_digest == spec.digest(quick) and old.summary
+                    ):
+                        old = None
+                if old is not None:
+                    old.resumed = True
+                    merged.results.append(old)
+                    reused += 1
+                    continue
+                result = run_scenario(
+                    spec, engine=engine, workers=workers, quick=quick, store=verdict_store
+                )
+                merged.results.append(result)
+                if log_handle is not None:
+                    _append_result(log_handle, result)
+        finally:
             if log_handle is not None:
-                _append_result(log_handle, result)
-    finally:
-        if log_handle is not None:
-            log_handle.close()
-        if owns_store and verdict_store is not None:
-            verdict_store.close()
+                log_handle.close()
+            if owns_store and verdict_store is not None:
+                verdict_store.close()
+            sp.add(scenarios=len(merged.results), reused=reused)
     # Results present in the old report but outside the requested scenario
     # list are preserved, so a partial resume never drops history.
     for result in previous.results:

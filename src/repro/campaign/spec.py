@@ -38,6 +38,7 @@ from ..decision.property import InstanceFamily, Property
 from ..engine.persistent import _code_token
 from ..graphs.identifiers import IdAssignment, IdentifierSpace
 from ..graphs.labelled_graph import LabelledGraph
+from ..obs.metrics import POOL_COUNTERS
 
 __all__ = ["ScenarioSpec", "ScenarioWorkload", "ScenarioResult", "CampaignReport"]
 
@@ -159,7 +160,9 @@ class ScenarioResult:
     result (used by ``--resume`` for staleness detection);
     ``jobs_replayed`` / ``jobs_computed`` split the scenario's jobs
     between verdict-store replay and fresh computation; ``resumed`` marks
-    results carried over unchanged from a previous report.
+    results carried over unchanged from a previous report;
+    ``phase_seconds`` breaks ``seconds`` down by phase (``build`` /
+    ``verify``, plus ``persist`` when the sweep logs incrementally).
     """
 
     name: str
@@ -178,6 +181,7 @@ class ScenarioResult:
     jobs_computed: int = 0
     jobs_replayed: int = 0
     resumed: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -203,6 +207,7 @@ class ScenarioResult:
             "jobs_computed": self.jobs_computed,
             "jobs_replayed": self.jobs_replayed,
             "resumed": self.resumed,
+            "phase_seconds": {k: round(v, 6) for k, v in self.phase_seconds.items()},
         }
 
     @classmethod
@@ -225,6 +230,9 @@ class ScenarioResult:
             jobs_computed=int(payload.get("jobs_computed", 0)),
             jobs_replayed=int(payload.get("jobs_replayed", 0)),
             resumed=bool(payload.get("resumed", False)),
+            phase_seconds={
+                k: float(v) for k, v in dict(payload.get("phase_seconds", {})).items()
+            },
         )
 
 
@@ -255,15 +263,9 @@ class CampaignReport:
     #: Parallel-backend counters aggregated into the report head, so a
     #: regression (forks per sweep creeping up, payloads re-shipped every
     #: batch) is observable in the JSON without trawling per-scenario stats.
-    PARALLEL_COUNTER_KEYS = (
-        "parallel_batches",
-        "parallel_chunks",
-        "parallel_forks",
-        "payload_ships",
-        "payload_ship_bytes",
-        "coalesced_batches",
-        "worker_deaths_recovered",
-    )
+    #: Sourced from the typed metric declarations so the wire keys are
+    #: declared exactly once (:data:`repro.obs.metrics.POOL_COUNTERS`).
+    PARALLEL_COUNTER_KEYS = tuple(sorted(metric.name for metric in POOL_COUNTERS))
 
     def parallel_stats(self) -> Dict[str, int]:
         """Sum of the parallel-backend counters across all scenarios."""

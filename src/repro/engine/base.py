@@ -37,6 +37,8 @@ from ..errors import AlgorithmError, IdentifierError
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
+from ..obs import trace
+from ..obs.metrics import STORE_COMPUTED, STORE_REPLAYED
 
 if TYPE_CHECKING:  # imported lazily to keep engine ↔ local_model import-cycle-free
     from ..local_model.algorithm import LocalAlgorithm, RandomisedLocalAlgorithm
@@ -117,6 +119,13 @@ class ExecutionEngine(ABC):
 
     def __init__(self) -> None:
         self.stats = EngineStats()
+        # Span kinds are precomputed so the tracing-disabled fast path of
+        # the public drivers below never concatenates strings per job.
+        name = type(self).name
+        self._kind_run = name + ".run"
+        self._kind_run_randomised = name + ".run_randomised"
+        self._kind_run_many = name + ".run_many"
+        self._kind_run_randomised_many = name + ".run_randomised_many"
 
     def reset_stats(self) -> None:
         """Zero the statistics counters (caches are kept)."""
@@ -173,7 +182,24 @@ class ExecutionEngine(ABC):
         ids: Optional[IdAssignment] = None,
         nodes: Optional[Iterable[Node]] = None,
     ) -> Dict[Node, Hashable]:
-        """Run a deterministic local algorithm at every node (or at ``nodes``)."""
+        """Run a deterministic local algorithm at every node (or at ``nodes``).
+
+        The public drivers (``run`` and friends) each time one span around
+        the backend-specific ``_*_core`` implementation; subclasses that
+        replace a driver override the core method, so every public call
+        yields exactly one span no matter how the backends delegate.
+        """
+        with trace.span(self._kind_run, graph_nodes=graph.num_nodes()):
+            return self._run_core(algorithm, graph, ids, nodes)
+
+    def _run_core(
+        self,
+        algorithm: "LocalAlgorithm",
+        graph: LabelledGraph,
+        ids: Optional[IdAssignment] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Hashable]:
+        """Backend implementation of :meth:`run` (unspanned)."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         use_ids = self._ids_for(algorithm, ids)
         view_map = self.views(graph, algorithm.radius, use_ids, chosen)
@@ -205,6 +231,18 @@ class ExecutionEngine(ABC):
         reproducible.  When ``seed`` is ``None`` a fresh run seed is drawn
         from the global generator.  Randomised outputs are never memoised.
         """
+        with trace.span(self._kind_run_randomised, graph_nodes=graph.num_nodes()):
+            return self._run_randomised_core(algorithm, graph, ids, seed, nodes)
+
+    def _run_randomised_core(
+        self,
+        algorithm: "RandomisedLocalAlgorithm",
+        graph: LabelledGraph,
+        ids: Optional[IdAssignment] = None,
+        seed: Optional[int] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> Dict[Node, Hashable]:
+        """Backend implementation of :meth:`run_randomised` (unspanned)."""
         chosen = list(nodes) if nodes is not None else list(graph.nodes())
         use_ids = self._ids_for(algorithm, ids)
         base = seed if seed is not None else random.randrange(2**63)
@@ -237,6 +275,15 @@ class ExecutionEngine(ABC):
 
         Returns one output map per job, in job order.
         """
+        with trace.span(self._kind_run_many, jobs=len(jobs)):
+            return self._run_many_core(algorithm, jobs)
+
+    def _run_many_core(
+        self,
+        algorithm: "LocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
+    ) -> List[Dict[Node, Hashable]]:
+        """Backend implementation of :meth:`run_many` (unspanned)."""
         return [self.run(algorithm, graph, ids) for graph, ids in jobs]
 
     def run_randomised_many(
@@ -249,6 +296,15 @@ class ExecutionEngine(ABC):
         Each job's seed is explicit, so results are reproducible and
         independent of how a backend orders or shards the jobs.
         """
+        with trace.span(self._kind_run_randomised_many, jobs=len(jobs)):
+            return self._run_randomised_many_core(algorithm, jobs)
+
+    def _run_randomised_many_core(
+        self,
+        algorithm: "RandomisedLocalAlgorithm",
+        jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
+    ) -> List[Dict[Node, Hashable]]:
+        """Backend implementation of :meth:`run_randomised_many` (unspanned)."""
         return [self.run_randomised(algorithm, graph, ids, seed) for graph, ids, seed in jobs]
 
     # ------------------------------------------------------------------ #
@@ -304,8 +360,8 @@ class ExecutionEngine(ABC):
 def store_counters(engine: "ExecutionEngine") -> Tuple[int, int]:
     """Snapshot the engine's ``(store_replayed, store_computed)`` counters."""
     return (
-        engine.stats.extra.get("store_replayed", 0),
-        engine.stats.extra.get("store_computed", 0),
+        engine.stats.extra.get(STORE_REPLAYED.name, 0),
+        engine.stats.extra.get(STORE_COMPUTED.name, 0),
     )
 
 

@@ -222,7 +222,7 @@ class CachedEngine(ExecutionEngine):
     # Memoised whole-graph runs
     # ------------------------------------------------------------------ #
 
-    def run(
+    def _run_core(
         self,
         algorithm: "LocalAlgorithm",
         graph: LabelledGraph,
@@ -233,7 +233,7 @@ class CachedEngine(ExecutionEngine):
         if nodes is not None:
             # Partial runs are not worth a cache slot; they still benefit
             # from the ball cache and the per-view memo.
-            return super().run(algorithm, graph, ids, nodes)
+            return super()._run_core(algorithm, graph, ids, nodes)
         use_ids = self._ids_for(algorithm, ids)
         # Id-oblivious outputs are independent of the assignment, so the run
         # key deliberately omits it: every assignment of a verification
@@ -244,7 +244,7 @@ class CachedEngine(ExecutionEngine):
             self.stats.nodes_run += len(cached)
             self.stats.evaluation_hits += len(cached)
             return dict(cached)
-        outputs = super().run(algorithm, graph, use_ids if algorithm.uses_identifiers else None)
+        outputs = super()._run_core(algorithm, graph, use_ids if algorithm.uses_identifiers else None)
         self._runs.put(run_key, outputs)
         return dict(outputs)
 

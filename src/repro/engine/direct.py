@@ -68,7 +68,7 @@ class DirectEngine(ExecutionEngine):
     # Vectorised batched jobs
     # ------------------------------------------------------------------ #
 
-    def run_many(
+    def _run_many_core(
         self,
         algorithm: "LocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
@@ -87,7 +87,7 @@ class DirectEngine(ExecutionEngine):
         Outputs equal the dict-based path's exactly, in job order.
         """
         if not self.interned:
-            return super().run_many(algorithm, jobs)
+            return super()._run_many_core(algorithm, jobs)
         results: List[Dict[Node, Hashable]] = []
         oblivious = not algorithm.uses_identifiers
         table: Dict[int, Tuple[LabelledGraph, Optional[Dict[Node, Neighbourhood]]]] = {}

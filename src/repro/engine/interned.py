@@ -51,6 +51,13 @@ except ImportError:  # pragma: no cover - exercised only on numpy-free installs
 from ..errors import GraphError
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
+from ..obs import trace
+from ..obs.metrics import (
+    BALL_TABLES_GROWN,
+    INTERN_CACHE_HITS,
+    INTERN_CACHE_MISSES,
+    global_metrics,
+)
 from .store import LRUStore
 
 __all__ = [
@@ -176,19 +183,21 @@ class InternedGraph:
         if cached is not None:
             return cached
         n = self.n
-        reach = np.eye(n, dtype=bool)
-        dist = np.zeros((n, n), dtype=np.int32)
-        frontier = reach.copy()
-        if radius > 0 and self.indices.size:
-            adjacency = self.adjacency()
-            for d in range(1, radius + 1):
-                grown = (frontier.astype(np.float32) @ adjacency) > 0.5
-                grown &= ~reach
-                if not grown.any():
-                    break
-                dist[grown] = d
-                reach |= grown
-                frontier = grown
+        with trace.span("interned.ball_table", nodes=n, radius=radius):
+            reach = np.eye(n, dtype=bool)
+            dist = np.zeros((n, n), dtype=np.int32)
+            frontier = reach.copy()
+            if radius > 0 and self.indices.size:
+                adjacency = self.adjacency()
+                for d in range(1, radius + 1):
+                    grown = (frontier.astype(np.float32) @ adjacency) > 0.5
+                    grown &= ~reach
+                    if not grown.any():
+                        break
+                    dist[grown] = d
+                    reach |= grown
+                    frontier = grown
+        global_metrics().inc(BALL_TABLES_GROWN)
         self._ball_tables[radius] = (reach, dist)
         return reach, dist
 
@@ -288,8 +297,11 @@ def intern_graph(graph: LabelledGraph) -> Optional[InternedGraph]:
         return None
     cached = _INTERN_CACHE.get(graph, _FAILED)
     if cached is not _FAILED:
+        global_metrics().inc(INTERN_CACHE_HITS)
         return cached
-    interned = _build_interned(graph)
+    global_metrics().inc(INTERN_CACHE_MISSES)
+    with trace.span("interned.intern", nodes=graph.num_nodes()):
+        interned = _build_interned(graph)
     _INTERN_CACHE.put(graph, interned)
     return interned
 

@@ -62,6 +62,8 @@ from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional,
 from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
+from ..obs import trace
+from ..obs.metrics import FORKS, diff_snapshots
 from .base import ExecutionEngine
 from .pool import (
     CostModel,
@@ -252,23 +254,37 @@ class ParallelEngine(ExecutionEngine):
         if not chunks:
             return []
         pool = get_pool()
-        before = pool.counters()
+        tracer = trace.active()
+        before = pool.metrics.snapshot()
         started = time.perf_counter()
-        try:
-            replies = pool.submit(payload, chunks, min(self.workers, len(chunks)))
-        except (WorkerCrashError, OSError):
+        with trace.span(
+            "pool.fan_out", chunks=len(chunks), workers=min(self.workers, len(chunks))
+        ) as sp:
+            # Workers trace into per-worker sidecar files parented under
+            # this span; absorbing them (even on failure) keeps one sweep
+            # one coherent tree in the parent's trace file.
+            trace_ctx = (tracer.sidecar_dir(), sp.id) if tracer is not None else None
+            try:
+                replies = pool.submit(
+                    payload, chunks, min(self.workers, len(chunks)), trace_ctx=trace_ctx
+                )
+            except (WorkerCrashError, OSError):
+                sp.add(failed=True)
+                replies = None
+            finally:
+                if tracer is not None:
+                    tracer.absorb_sidecar()
+        if replies is None:
             return None
         elapsed = time.perf_counter() - started
-        after = pool.counters()
-        for key, value in after.items():
-            delta = value - before.get(key, 0)
-            if delta:
-                self.stats.extra[key] = self.stats.extra.get(key, 0) + delta
+        deltas = diff_snapshots(before, pool.metrics.snapshot())
+        for key, delta in deltas.items():
+            self.stats.extra[key] = self.stats.extra.get(key, 0) + delta
         merged: List = []
         for outputs, worker_stats in replies:
             merged.append(outputs)
             self._absorb_stats(worker_stats)
-        if self.adaptive and after["parallel_forks"] == before["parallel_forks"]:
+        if self.adaptive and not deltas.get(FORKS.name):
             # Only warm dispatches teach the pool rate; cold ones are
             # dominated by the one-off fork cost the model prices separately.
             self.cost_model.observe_pool(self._last_units, elapsed, min(self.workers, len(chunks)))
@@ -289,9 +305,10 @@ class ParallelEngine(ExecutionEngine):
         if self.adaptive and units > 0:
             self.cost_model.observe_serial(units, time.perf_counter() - started)
 
-    # -- sharded drivers --------------------------------------------------- #
+    # -- sharded drivers (cores; the public drivers in the base class
+    #    wrap each call in exactly one span) ------------------------------- #
 
-    def run(
+    def _run_core(
         self,
         algorithm: "LocalAlgorithm",
         graph: LabelledGraph,
@@ -327,7 +344,7 @@ class ParallelEngine(ExecutionEngine):
         self._observe_serial(units, started)
         return result
 
-    def run_randomised(
+    def _run_randomised_core(
         self,
         algorithm: "RandomisedLocalAlgorithm",
         graph: LabelledGraph,
@@ -367,7 +384,7 @@ class ParallelEngine(ExecutionEngine):
         self._observe_serial(units, started)
         return result
 
-    def run_many(
+    def _run_many_core(
         self,
         algorithm: "LocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
@@ -394,7 +411,7 @@ class ParallelEngine(ExecutionEngine):
         self._observe_serial(units, started)
         return result
 
-    def run_randomised_many(
+    def _run_randomised_many_core(
         self,
         algorithm: "RandomisedLocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],

@@ -64,6 +64,14 @@ from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
 from ..local_model.outputs import Verdict
+from ..obs import trace
+from ..obs.metrics import (
+    STORE_COMPUTED,
+    STORE_DECODE_FAILURES,
+    STORE_REPLAYED,
+    STORE_UNPERSISTABLE,
+    Metric,
+)
 from .base import EngineLike, ExecutionEngine, resolve_engine
 from .store import LRUStore
 
@@ -455,6 +463,15 @@ class VerdictStore:
     # -- segment IO ------------------------------------------------------ #
 
     def _load_segments(self) -> None:
+        with trace.span("store.load", path=str(self.path)) as sp:
+            self._load_segments_inner()
+            sp.add(
+                segments=self.segments_loaded,
+                entries=self.entries_loaded,
+                corrupt=self.corrupt_lines_skipped,
+            )
+
+    def _load_segments_inner(self) -> None:
         for segment in sorted(self.path.glob("*.jsonl")):
             self.segments_loaded += 1
             try:
@@ -463,7 +480,7 @@ class VerdictStore:
                 warnings.warn(
                     f"verdict store segment {segment} unreadable ({exc}); skipping it",
                     StoreCorruptionWarning,
-                    stacklevel=3,
+                    stacklevel=4,
                 )
                 continue
             for lineno, line in enumerate(text.splitlines(), start=1):
@@ -478,7 +495,7 @@ class VerdictStore:
                         f"verdict store segment {segment.name} line {lineno} is "
                         "corrupt (truncated append?); skipping it",
                         StoreCorruptionWarning,
-                        stacklevel=3,
+                        stacklevel=4,
                     )
                     continue
                 self._front.put(key, value)
@@ -508,9 +525,10 @@ class VerdictStore:
             self._front.put(digest, payload)
             return
         line = json.dumps({"k": digest, "v": payload}, sort_keys=True)
-        segment = self._segment()
-        segment.write(line + "\n")
-        segment.flush()
+        with trace.span("store.append", bytes=len(line)):
+            segment = self._segment()
+            segment.write(line + "\n")
+            segment.flush()
         self._front.put(digest, payload)
         self._on_disk.add(digest)
         self.appends += 1
@@ -624,8 +642,8 @@ class PersistentEngine(ExecutionEngine):
         self.inner.reset_stats()
         self.stats = self.inner.stats
 
-    def _count(self, key: str, amount: int = 1) -> None:
-        self.stats.extra[key] = self.stats.extra.get(key, 0) + amount
+    def _count(self, metric: Metric, amount: int = 1) -> None:
+        self.stats.extra[metric.name] = self.stats.extra.get(metric.name, 0) + amount
 
     # -- digesting (memoised per engine) --------------------------------- #
 
@@ -673,19 +691,19 @@ class PersistentEngine(ExecutionEngine):
         except (_Unpersistable, KeyError, ValueError, TypeError):
             # A stale or foreign entry that happens to share the digest is
             # treated as a miss, never as an error.
-            self._count("store_decode_failures")
+            self._count(STORE_DECODE_FAILURES)
             return None
-        self._count("store_replayed")
+        self._count(STORE_REPLAYED)
         return outputs
 
     def _persist(self, digest: str, graph: LabelledGraph, outputs: Dict[Node, Hashable]) -> None:
         if self.replay_only:
             return
-        self._count("store_computed")
+        self._count(STORE_COMPUTED)
         try:
             self.store.put(digest, _encode_outputs(graph, outputs))
         except _Unpersistable:
-            self._count("store_unpersistable")
+            self._count(STORE_UNPERSISTABLE)
 
     # -- delegated primitives --------------------------------------------- #
 
@@ -703,9 +721,9 @@ class PersistentEngine(ExecutionEngine):
         """Delegate single-view evaluation to the inner engine (not persisted)."""
         return self.inner.evaluate_view(algorithm, view)
 
-    # -- persistent drivers ------------------------------------------------ #
+    # -- persistent drivers (cores; base public drivers span each call) ---- #
 
-    def run(
+    def _run_core(
         self,
         algorithm: "LocalAlgorithm",
         graph: LabelledGraph,
@@ -723,7 +741,7 @@ class PersistentEngine(ExecutionEngine):
         self._persist(digest, graph, outputs)
         return outputs
 
-    def run_randomised(
+    def _run_randomised_core(
         self,
         algorithm: "RandomisedLocalAlgorithm",
         graph: LabelledGraph,
@@ -744,7 +762,7 @@ class PersistentEngine(ExecutionEngine):
         self._persist(digest, graph, outputs)
         return outputs
 
-    def run_many(
+    def _run_many_core(
         self,
         algorithm: "LocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment]]],
@@ -754,14 +772,16 @@ class PersistentEngine(ExecutionEngine):
         results: List[Optional[Dict[Node, Hashable]]] = [None] * len(jobs)
         missing: List[int] = []
         digests: List[str] = []
-        for k, (graph, ids) in enumerate(jobs):
-            digest = self._digest(algorithm, graph, self._ids_for(algorithm, ids))
-            digests.append(digest)
-            replayed = self._replay(digest, graph)
-            if replayed is None:
-                missing.append(k)
-            else:
-                results[k] = replayed
+        with trace.span("store.lookup", jobs=len(jobs)) as sp:
+            for k, (graph, ids) in enumerate(jobs):
+                digest = self._digest(algorithm, graph, self._ids_for(algorithm, ids))
+                digests.append(digest)
+                replayed = self._replay(digest, graph)
+                if replayed is None:
+                    missing.append(k)
+                else:
+                    results[k] = replayed
+            sp.add(replayed=len(jobs) - len(missing))
         if missing:
             computed = self.inner.run_many(algorithm, [jobs[k] for k in missing])
             for k, outputs in zip(missing, computed):
@@ -769,7 +789,7 @@ class PersistentEngine(ExecutionEngine):
                 self._persist(digests[k], jobs[k][0], outputs)
         return results  # type: ignore[return-value]
 
-    def run_randomised_many(
+    def _run_randomised_many_core(
         self,
         algorithm: "RandomisedLocalAlgorithm",
         jobs: Sequence[Tuple[LabelledGraph, Optional[IdAssignment], int]],
@@ -779,14 +799,16 @@ class PersistentEngine(ExecutionEngine):
         results: List[Optional[Dict[Node, Hashable]]] = [None] * len(jobs)
         missing: List[int] = []
         digests: List[str] = []
-        for k, (graph, ids, seed) in enumerate(jobs):
-            digest = self._digest(algorithm, graph, self._ids_for(algorithm, ids), seed)
-            digests.append(digest)
-            replayed = self._replay(digest, graph)
-            if replayed is None:
-                missing.append(k)
-            else:
-                results[k] = replayed
+        with trace.span("store.lookup", jobs=len(jobs)) as sp:
+            for k, (graph, ids, seed) in enumerate(jobs):
+                digest = self._digest(algorithm, graph, self._ids_for(algorithm, ids), seed)
+                digests.append(digest)
+                replayed = self._replay(digest, graph)
+                if replayed is None:
+                    missing.append(k)
+                else:
+                    results[k] = replayed
+            sp.add(replayed=len(jobs) - len(missing))
         if missing:
             computed = self.inner.run_randomised_many(algorithm, [jobs[k] for k in missing])
             for k, outputs in zip(missing, computed):

@@ -54,10 +54,23 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import pickle
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import trace
+from ..obs.metrics import (
+    BATCHES,
+    CHUNKS,
+    COALESCED_BATCHES,
+    FORKS,
+    PAYLOAD_SHIP_BYTES,
+    PAYLOAD_SHIPS,
+    POOL_COUNTERS,
+    WORKER_DEATHS,
+    MetricsRegistry,
+)
 from .cached import CachedEngine
 
 __all__ = [
@@ -258,7 +271,11 @@ def _worker_main(conn) -> None:
             continue
         if tag != "run":  # pragma: no cover - defensive
             continue
-        _, generation, chunks = message
+        if len(message) == 4:
+            _, generation, chunks, trace_ctx = message
+        else:  # pragma: no cover - tolerate untagged run messages
+            _, generation, chunks = message
+            trace_ctx = None
         payload = payloads.get(generation)
         if payload is None:
             conn.send(("missing-payload", generation))
@@ -266,14 +283,35 @@ def _worker_main(conn) -> None:
         eng = engine
         if payload.store_path is not None:
             eng = _store_front(stores, payload.store_path, engine)
+        if trace_ctx is not None:
+            # Trace this batch into a per-worker sidecar file, every span
+            # tagged with the worker id and parented (via root_parent)
+            # under the parent process's pool.fan_out span.  The file is
+            # closed by trace.disable() *before* the reply is sent, so the
+            # parent never absorbs a file still being written.
+            directory, parent_span, worker_index = trace_ctx
+            try:
+                trace.enable(
+                    os.path.join(directory, f"worker-{worker_index}-{os.getpid()}.jsonl"),
+                    tags={"worker": worker_index, "generation": generation},
+                    root_parent=parent_span,
+                )
+            except OSError:  # pragma: no cover - unwritable sidecar dir
+                trace_ctx = None
         try:
-            results = [_execute_chunk(eng, payload, chunk) for chunk in chunks]
+            results = []
+            for chunk in chunks:
+                with trace.span("pool.chunk", jobs=len(chunk)):
+                    results.append(_execute_chunk(eng, payload, chunk))
         except BaseException as exc:  # ship the failure, stay alive
             try:
                 conn.send(("error", exc))
             except (pickle.PicklingError, TypeError, AttributeError):
                 conn.send(("error", RuntimeError(f"worker raised unpicklable {exc!r}")))
             continue
+        finally:
+            if trace_ctx is not None:
+                trace.disable()
         conn.send(("ok", results))
     try:
         conn.close()
@@ -313,22 +351,58 @@ class WorkerPool:
 
     One instance exists per process (see :func:`get_pool`); it grows
     lazily to the largest worker count requested and shrinks only on
-    :meth:`shutdown`.  All counters are lifetime totals — callers snapshot
-    and diff them to attribute per-batch deltas to engine statistics.
+    :meth:`shutdown`.  Counters live in a typed
+    :class:`~repro.obs.metrics.MetricsRegistry` as lifetime totals —
+    callers snapshot ``metrics`` and :func:`~repro.obs.metrics.diff_snapshots`
+    two snapshots to attribute per-batch deltas to engine statistics
+    (:meth:`~repro.engine.parallel.ParallelEngine._fan_out` does exactly
+    this; hand-subtracted string-keyed dicts are gone).
     """
 
     def __init__(self) -> None:
         self._handles: List[_Handle] = []
         self._generation = 0
         self._last: Optional[_LastPayload] = None
-        # Lifetime counters (see ParallelEngine stats extras).
-        self.forks = 0
-        self.payload_ships = 0
-        self.payload_ship_bytes = 0
-        self.batches = 0
-        self.chunks_run = 0
-        self.coalesced_batches = 0
-        self.deaths_recovered = 0
+        self._trace_ctx: Optional[Tuple[str, Optional[str]]] = None
+        #: Lifetime counters, declared in repro.obs.metrics.POOL_COUNTERS.
+        self.metrics = MetricsRegistry()
+
+    # -- counter views (historical attribute names, registry-backed) ------- #
+
+    @property
+    def forks(self) -> int:
+        """Lifetime worker processes forked (``parallel_forks``)."""
+        return int(self.metrics.get(FORKS))
+
+    @property
+    def payload_ships(self) -> int:
+        """Lifetime payload generations shipped (``payload_ships``)."""
+        return int(self.metrics.get(PAYLOAD_SHIPS))
+
+    @property
+    def payload_ship_bytes(self) -> int:
+        """Lifetime pickled payload bytes shipped (``payload_ship_bytes``)."""
+        return int(self.metrics.get(PAYLOAD_SHIP_BYTES))
+
+    @property
+    def batches(self) -> int:
+        """Lifetime batches submitted (``parallel_batches``)."""
+        return int(self.metrics.get(BATCHES))
+
+    @property
+    def chunks_run(self) -> int:
+        """Lifetime chunks executed (``parallel_chunks``)."""
+        return int(self.metrics.get(CHUNKS))
+
+    @property
+    def coalesced_batches(self) -> int:
+        """Lifetime batches that coalesced chunks (``coalesced_batches``)."""
+        return int(self.metrics.get(COALESCED_BATCHES))
+
+    @property
+    def deaths_recovered(self) -> int:
+        """Lifetime dead workers replaced (``worker_deaths_recovered``)."""
+        return int(self.metrics.get(WORKER_DEATHS))
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -342,15 +416,16 @@ class WorkerPool:
 
     def _spawn(self) -> _Handle:
         ctx = multiprocessing.get_context("fork")
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
-        process.start()
+        with trace.span("pool.fork"):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+            process.start()
         # Close the parent's copy of the child end immediately: EOF
         # detection (re-fork-on-death) needs the child end closed
         # everywhere but in the worker itself, and later forks must not
         # inherit it.
         child_conn.close()
-        self.forks += 1
+        self.metrics.inc(FORKS)
         handle = _Handle(process, parent_conn)
         if _INHERITED is not None:
             # The child adopted the published payload at fork time.
@@ -365,7 +440,7 @@ class WorkerPool:
             if index < len(self._handles):
                 self._discard(self._handles[index])
                 self._handles[index] = handle
-                self.deaths_recovered += 1
+                self.metrics.inc(WORKER_DEATHS)
             else:
                 self._handles.append(handle)
 
@@ -435,16 +510,29 @@ class WorkerPool:
 
     # -- batch submission -------------------------------------------------- #
 
-    def submit(self, payload: PoolPayload, chunks: Sequence[range], workers: int) -> List[Tuple]:
+    def submit(
+        self,
+        payload: PoolPayload,
+        chunks: Sequence[range],
+        workers: int,
+        trace_ctx: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> List[Tuple]:
         """Run the chunks across ``workers`` live workers; per-chunk results.
 
         Chunk ``i`` is deterministically assigned to worker ``i % workers``
         and a worker's chunks travel as one task message (the coalescing
         seam).  Results return in chunk order.  A worker found dead is
         replaced and its share re-sent; the batch never loses work.
+
+        ``trace_ctx`` is ``(sidecar_dir, parent_span_id)`` when the parent
+        is tracing this batch: every dispatch (including death-recovery
+        re-dispatches) extends it with the worker index and ships it in the
+        run message, so workers trace into per-worker sidecar files whose
+        spans hang off the parent's dispatch span.
         """
         if not chunks:
             return []
+        self._trace_ctx = trace_ctx
         workers = max(1, min(workers, len(chunks)))
         generation, blob = self._generation_for(payload)
         if blob is None:
@@ -483,11 +571,11 @@ class WorkerPool:
                 results[chunk_index] = reply
         if failure is not None:
             raise failure
-        self.batches += 1
-        self.chunks_run += len(chunks)
+        self.metrics.inc(BATCHES)
+        self.metrics.inc(CHUNKS, len(chunks))
         if payload.kind in ("run_many", "run_randomised_many") and payload.jobs is not None:
             if len(payload.jobs) > len(chunks):
-                self.coalesced_batches += 1
+                self.metrics.inc(COALESCED_BATCHES)
         return results  # type: ignore[return-value]
 
     def _dispatch(
@@ -511,9 +599,11 @@ class WorkerPool:
                 else:
                     handle.conn.send(("payload", generation, blob))
                     handle.generation = generation
-                    self.payload_ships += 1
-                    self.payload_ship_bytes += len(blob)
-            handle.conn.send(("run", generation, chunk_ranges))
+                    self.metrics.inc(PAYLOAD_SHIPS)
+                    self.metrics.inc(PAYLOAD_SHIP_BYTES, len(blob))
+            ctx = self._trace_ctx
+            worker_ctx = None if ctx is None else (ctx[0], ctx[1], index)
+            handle.conn.send(("run", generation, chunk_ranges, worker_ctx))
         except (BrokenPipeError, ConnectionResetError, OSError):
             if retried:
                 raise WorkerCrashError(f"worker {index} died twice while receiving a batch")
@@ -563,24 +653,21 @@ class WorkerPool:
         raise WorkerCrashError(f"worker {index} sent unknown reply {tag!r}")  # pragma: no cover
 
     def _replace_dead(self, index: int) -> None:
-        self._discard(self._handles[index])
-        handle = self._spawn()
+        with trace.span("pool.worker_respawn", worker=index):
+            self._discard(self._handles[index])
+            handle = self._spawn()
         self._handles[index] = handle
-        self.deaths_recovered += 1
+        self.metrics.inc(WORKER_DEATHS)
 
     # -- observability ----------------------------------------------------- #
 
     def counters(self) -> Dict[str, int]:
-        """Snapshot of the lifetime counters (diff two snapshots per batch)."""
-        return {
-            "parallel_forks": self.forks,
-            "payload_ships": self.payload_ships,
-            "payload_ship_bytes": self.payload_ship_bytes,
-            "parallel_batches": self.batches,
-            "parallel_chunks": self.chunks_run,
-            "coalesced_batches": self.coalesced_batches,
-            "worker_deaths_recovered": self.deaths_recovered,
-        }
+        """Snapshot of the lifetime counters (diff two snapshots per batch).
+
+        Keys come from the declared :data:`~repro.obs.metrics.POOL_COUNTERS`
+        constants; every counter is present even when still zero.
+        """
+        return {metric.name: int(self.metrics.get(metric)) for metric in POOL_COUNTERS}
 
     def __repr__(self) -> str:
         return f"WorkerPool(alive={self.alive_workers()}, forks={self.forks})"

@@ -21,6 +21,7 @@ from ..graphs.identifiers import IdAssignment
 from ..graphs.labelled_graph import LabelledGraph, Node
 from ..graphs.neighbourhood import Neighbourhood
 from ..local_model.simulator import SimulationStats, SynchronousSimulator
+from ..obs.metrics import MESSAGES_SENT
 from .base import ExecutionEngine
 
 __all__ = ["SynchronousEngine"]
@@ -56,8 +57,8 @@ class SynchronousEngine(ExecutionEngine):
         sim = SynchronousSimulator(graph, ids)
         sim.run_rounds(radius + self.extra_rounds)
         self.last_simulation_stats = sim.stats
-        self.stats.extra["messages_sent"] = (
-            self.stats.extra.get("messages_sent", 0) + sim.stats.messages_sent
+        self.stats.extra[MESSAGES_SENT.name] = (
+            self.stats.extra.get(MESSAGES_SENT.name, 0) + sim.stats.messages_sent
         )
         out: Dict[Node, Neighbourhood] = {}
         for v in chosen:

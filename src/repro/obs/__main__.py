@@ -1,0 +1,6 @@
+"""Module runner: ``python -m repro.obs report <trace.jsonl>``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

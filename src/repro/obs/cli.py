@@ -1,0 +1,88 @@
+"""Command-line entry point for trace reports: ``python -m repro.obs``.
+
+Subcommands:
+
+``report TRACE [--compare OTHER] [--json]``
+    Aggregate one trace into the per-kind self/cumulative-time table,
+    per-job latency percentiles, and the replay/compute breakdown — or,
+    with ``--compare``, diff two traces kind-by-kind (regression triage).
+
+Exit codes: 0 on success, 2 when a trace file is missing, unreadable, or
+contains no usable spans (mirrors ``check_regression.py``'s "unusable
+input must not pass vacuously" convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from .report import aggregate, compare_report, format_report, load_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Aggregate span traces written via --trace / REPRO_TRACE.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="summarise one trace, or diff two with --compare",
+        description=(
+            "Render a self/cumulative-time table per span kind, per-job "
+            "latency percentiles, and the replay/compute breakdown."
+        ),
+    )
+    report.add_argument("trace", help="span JSONL file written via --trace or REPRO_TRACE")
+    report.add_argument(
+        "--compare",
+        default=None,
+        metavar="TRACE",
+        help="second trace to diff against (Δself_s = compare minus trace)",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the aggregated statistics as JSON instead of a table",
+    )
+    return parser
+
+
+def _load(path: str) -> Optional[list]:
+    """Load one trace; print a diagnostic and return None when unusable."""
+    try:
+        spans = load_trace(path)
+    except OSError as exc:
+        print(f"error: cannot read trace {path}: {exc}")
+        return None
+    if not spans:
+        print(f"error: no usable spans in {path}")
+        return None
+    return spans
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    spans = _load(args.trace)
+    if spans is None:
+        return 2
+    if args.compare is not None:
+        other = _load(args.compare)
+        if other is None:
+            return 2
+        print(compare_report(args.trace, spans, args.compare, other))
+        return 0
+    if args.json:
+        stats = aggregate(spans)
+        stats["roots"] = [span.get("id") for span in stats["roots"]]
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(format_report(args.trace, spans))
+    return 0

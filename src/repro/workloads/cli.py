@@ -64,6 +64,7 @@ from typing import Iterator, Optional, Sequence
 from ..analysis.reporting import format_table
 from ..campaign.runner import replay_summary, resume_campaign, run_campaign, write_report
 from ..campaign.spec import ScenarioSpec
+from ..obs import trace
 from .axes import bundled_properties, bundled_regimes, property_names, regime_names
 from .families import bundled_families, family_names
 from .matrix import WorkloadMatrix, expand_json, expand_ndjson
@@ -281,6 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-report", action="store_true", help="skip writing the JSON report file"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="with --run: write a structured JSONL span trace of the sweep to "
+        "PATH (inspect it with `python -m repro.obs report PATH`)",
+    )
     return parser
 
 
@@ -436,60 +444,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.max_cells is not None:
         specs = itertools.islice(specs, args.max_cells)
         expected = min(expected, args.max_cells)
-    if args.resume is not None:
-        resume_path = Path(args.resume)
-        if not resume_path.exists():
-            parser.error(f"--resume report {resume_path} does not exist")
-        report, reused = resume_campaign(
-            resume_path,
-            scenarios=specs,
-            engine=args.engine,
-            workers=args.workers,
-            quick=True if args.quick else None,
-            store=args.store,
-            log_path=args.log,
-        )
-        print(
-            f"resumed from {resume_path}: {reused} cell(s) reused, {expected - reused} re-run"
-        )
-    else:
-        report = run_campaign(
-            specs,
-            engine=args.engine,
-            workers=args.workers,
-            quick=args.quick,
-            name=f"workload-matrix(seed={args.seed})",
-            store=args.store,
-            log_path=args.log,
-        )
-    print(report.summary_table())
-    parallel_totals = report.parallel_stats()
-    if parallel_totals.get("parallel_batches"):
-        print(
-            "parallel: {parallel_batches} batch(es), {parallel_chunks} chunk(s), "
-            "{parallel_forks} fork(s), {payload_ships} payload ship(s) "
-            "({payload_ship_bytes} bytes), {coalesced_batches} coalesced".format(**parallel_totals)
-        )
-    if not args.no_report:
-        default = Path(args.resume) if args.resume is not None else DEFAULT_MATRIX_REPORT
-        path = write_report(report, args.output if args.output is not None else default)
-        print(f"report written to {path}")
-    ok = report.ok
-    if args.min_replayed is not None:
-        replayed, total_jobs, fraction, resumed = replay_summary(report)
-        print(
-            f"store replay: {replayed}/{total_jobs} jobs "
-            f"({fraction:.1%}, floor {args.min_replayed:.1%}"
-            + (f"; {resumed} resumed cell(s) excluded)" if resumed else ")")
-        )
-        if fraction < args.min_replayed:
-            print(
-                f"FAIL: only {fraction:.1%} of jobs replayed from the store "
-                f"(floor {args.min_replayed:.1%})"
+    if args.resume is not None and not Path(args.resume).exists():
+        parser.error(f"--resume report {args.resume} does not exist")
+    if args.trace is not None:
+        trace.enable(args.trace)
+    try:
+        if args.resume is not None:
+            resume_path = Path(args.resume)
+            report, reused = resume_campaign(
+                resume_path,
+                scenarios=specs,
+                engine=args.engine,
+                workers=args.workers,
+                quick=True if args.quick else None,
+                store=args.store,
+                log_path=args.log,
             )
-            ok = False
-    print(f"workload matrix {'OK' if ok else 'FAILED'}")
-    return 0 if ok else 1
+            print(
+                f"resumed from {resume_path}: {reused} cell(s) reused, {expected - reused} re-run"
+            )
+        else:
+            report = run_campaign(
+                specs,
+                engine=args.engine,
+                workers=args.workers,
+                quick=args.quick,
+                name=f"workload-matrix(seed={args.seed})",
+                store=args.store,
+                log_path=args.log,
+            )
+        print(report.summary_table())
+        parallel_totals = report.parallel_stats()
+        if parallel_totals.get("parallel_batches"):
+            print(
+                "parallel: {parallel_batches} batch(es), {parallel_chunks} chunk(s), "
+                "{parallel_forks} fork(s), {payload_ships} payload ship(s) "
+                "({payload_ship_bytes} bytes), {coalesced_batches} coalesced".format(**parallel_totals)
+            )
+        if not args.no_report:
+            default = Path(args.resume) if args.resume is not None else DEFAULT_MATRIX_REPORT
+            path = write_report(report, args.output if args.output is not None else default)
+            print(f"report written to {path}")
+        ok = report.ok
+        if args.min_replayed is not None:
+            replayed, total_jobs, fraction, resumed = replay_summary(report)
+            print(
+                f"store replay: {replayed}/{total_jobs} jobs "
+                f"({fraction:.1%}, floor {args.min_replayed:.1%}"
+                + (f"; {resumed} resumed cell(s) excluded)" if resumed else ")")
+            )
+            if fraction < args.min_replayed:
+                print(
+                    f"FAIL: only {fraction:.1%} of jobs replayed from the store "
+                    f"(floor {args.min_replayed:.1%})"
+                )
+                ok = False
+        print(f"workload matrix {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+    finally:
+        if args.trace is not None:
+            trace.disable()
+            print(f"trace written to {args.trace}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m
